@@ -1,0 +1,76 @@
+// Command pdfshield-bench regenerates every table and figure of the
+// paper's evaluation section on the synthetic corpus and prints them in
+// paper order. Use -scale 1.0 for paper-size corpora (994 benign-with-JS /
+// 1000 malicious in Table VIII; slower) or the default 0.1 for a quick
+// pass.
+//
+// Usage:
+//
+//	pdfshield-bench [-scale 0.1] [-seed 20140623] [-only table-viii]
+//	                [-out results.txt] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"pdfshield/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pdfshield-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	scale := flag.Float64("scale", 0.1, "corpus scale relative to the paper (1.0 = full)")
+	seed := flag.Int64("seed", 0, "experiment seed (0 = built-in default)")
+	only := flag.String("only", "", "run a single experiment by id")
+	outPath := flag.String("out", "", "also write rendered results to this file")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, exp := range experiments.All() {
+			fmt.Println(exp.ID)
+		}
+		return nil
+	}
+
+	cfg := experiments.Config{Scale: *scale, Seed: *seed}
+	var w io.Writer = os.Stdout
+	var file *os.File
+	if *outPath != "" {
+		var err error
+		file, err = os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = file.Close() }()
+		w = io.MultiWriter(os.Stdout, file)
+	}
+
+	fmt.Fprintf(w, "pdfshield evaluation harness — scale %.2f, seed %d\n", *scale, *seed)
+	fmt.Fprintf(w, "started %s\n\n", time.Now().Format(time.RFC3339))
+
+	if *only != "" {
+		for _, exp := range experiments.All() {
+			if exp.ID != *only {
+				continue
+			}
+			start := time.Now()
+			res := exp.Run(cfg)
+			fmt.Fprintf(w, "%s\n[%s finished in %.1fs]\n", res.Render(), exp.ID, time.Since(start).Seconds())
+			return nil
+		}
+		return fmt.Errorf("unknown experiment %q (see -list)", *only)
+	}
+
+	experiments.RunAll(cfg, w)
+	return nil
+}

@@ -1,0 +1,93 @@
+// Command pdfshield-detect runs the runtime detector as a stand-alone
+// process: the tiny SOAP server receives context notifications from
+// instrumented documents, the TCP hook endpoint receives captured API
+// calls, and alerts stream to stdout.
+//
+// Usage:
+//
+//	pdfshield-detect -registry registry.json [-downloads downloads.json]
+//	                 [-duration 30s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pdfshield/internal/detect"
+	"pdfshield/internal/instrument"
+	"pdfshield/internal/winos"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pdfshield-detect:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	registryPath := flag.String("registry", "", "registry JSON produced by pdfshield-scan (required)")
+	downloadsPath := flag.String("downloads", "", "persistent downloaded-executables list")
+	duration := flag.Duration("duration", 0, "exit after this long (0 = until SIGINT)")
+	pollEvery := flag.Duration("poll", time.Second, "alert polling interval")
+	flag.Parse()
+
+	if *registryPath == "" {
+		flag.Usage()
+		return fmt.Errorf("-registry is required")
+	}
+	registry, err := instrument.LoadRegistryJSON(*registryPath)
+	if err != nil {
+		return err
+	}
+
+	det, err := detect.New(detect.Config{
+		Registry:      registry,
+		OS:            winos.NewOS(),
+		DownloadsPath: *downloadsPath,
+	})
+	if err != nil {
+		return err
+	}
+	if err := det.Start(); err != nil {
+		return err
+	}
+	defer func() { _ = det.Close() }()
+
+	fmt.Printf("detector id:   %s\n", registry.DetectorID())
+	fmt.Printf("SOAP endpoint: %s\n", det.SOAPURL())
+	fmt.Printf("hook endpoint: %s\n", det.HookAddr())
+	fmt.Printf("documents:     %d registered\n", registry.Len())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	var deadline <-chan time.Time
+	if *duration > 0 {
+		deadline = time.After(*duration)
+	}
+
+	seen := 0
+	ticker := time.NewTicker(*pollEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			alerts := det.Alerts()
+			for ; seen < len(alerts); seen++ {
+				a := alerts[seen]
+				fmt.Printf("ALERT doc=%s malscore=%d reason=%s features=%v isolated=%v\n",
+					a.DocID, a.Malscore, a.Reason, a.Features.Positive(), a.IsolatedFiles)
+			}
+		case <-stop:
+			fmt.Printf("shutting down: %d alerts total\n", len(det.Alerts()))
+			return nil
+		case <-deadline:
+			fmt.Printf("duration elapsed: %d alerts total\n", len(det.Alerts()))
+			return nil
+		}
+	}
+}

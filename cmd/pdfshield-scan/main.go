@@ -1,0 +1,139 @@
+// Command pdfshield-scan is the front-end CLI: it statically analyzes a PDF
+// document, reports the five static features and the Javascript chains, and
+// (unless -analyze is given) writes an instrumented copy plus the
+// de-instrumentation spec.
+//
+// Usage:
+//
+//	pdfshield-scan [-analyze] [-out instrumented.pdf] [-spec spec.json]
+//	               [-registry registry.json] [-endpoint url] input.pdf
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"pdfshield/internal/instrument"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pdfshield-scan:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	analyzeOnly := flag.Bool("analyze", false, "analyze only; do not instrument")
+	outPath := flag.String("out", "", "instrumented output path (default: <input>.instrumented.pdf)")
+	specPath := flag.String("spec", "", "de-instrumentation spec output path (default: <input>.spec.json)")
+	registryPath := flag.String("registry", "", "registry JSON to load/append (created when absent)")
+	endpoint := flag.String("endpoint", instrument.DefaultEndpoint, "detector SOAP endpoint embedded in monitoring code")
+	seed := flag.Int64("seed", 0, "randomization seed (0 = time-based)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		flag.Usage()
+		return errors.New("exactly one input file required")
+	}
+	input := flag.Arg(0)
+	raw, err := os.ReadFile(input)
+	if err != nil {
+		return err
+	}
+
+	feats, chains, _, err := instrument.Analyze(raw)
+	if err != nil {
+		return fmt.Errorf("analyze: %w", err)
+	}
+	merged, embedded, err := instrument.AnalyzeDeep(raw)
+	if err != nil {
+		return fmt.Errorf("deep analyze: %w", err)
+	}
+	fmt.Printf("file:              %s (%d bytes)\n", input, len(raw))
+	fmt.Printf("static features:   %s\n", feats)
+	if len(embedded) > 0 {
+		fmt.Printf("embedded PDFs:     %d (merged features: %s)\n", len(embedded), merged)
+	}
+	fmt.Printf("feature vector:    F1..F5 = %v (merged %v)\n", feats.Vector(), merged.Vector())
+	fmt.Printf("javascript chains: %d (triggered shown below)\n", len(chains.Chains))
+	for _, c := range chains.Chains {
+		if !c.Triggered {
+			continue
+		}
+		preview := c.Source
+		if len(preview) > 60 {
+			preview = preview[:60] + "..."
+		}
+		fmt.Printf("  holder obj %-4d trigger=%-18s %d chars: %q\n", c.Holder, c.Trigger, len(c.Source), preview)
+	}
+	if *analyzeOnly {
+		return nil
+	}
+	if !merged.HasJavaScript {
+		fmt.Println("no javascript anywhere: nothing to instrument")
+		return nil
+	}
+
+	var registry *instrument.Registry
+	if *registryPath != "" {
+		registry, err = instrument.LoadRegistryJSON(*registryPath)
+		if err != nil && os.IsNotExist(errors.Unwrap(err)) {
+			registry = nil
+		} else if err != nil {
+			return err
+		}
+	}
+	if registry == nil {
+		id, err := instrument.NewDetectorID(nil)
+		if err != nil {
+			return err
+		}
+		registry = instrument.NewRegistry(id)
+	}
+
+	ins := instrument.New(registry, instrument.Options{Endpoint: *endpoint, Seed: *seed})
+	res, err := ins.InstrumentBytes(input, raw)
+	if err != nil {
+		return fmt.Errorf("instrument: %w", err)
+	}
+
+	out := *outPath
+	if out == "" {
+		out = input + ".instrumented.pdf"
+	}
+	if err := os.WriteFile(out, res.Output, 0o600); err != nil {
+		return err
+	}
+	spec := *specPath
+	if spec == "" {
+		spec = input + ".spec.json"
+	}
+	specJSON, err := json.MarshalIndent(res.Spec, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(spec, specJSON, 0o600); err != nil {
+		return err
+	}
+	if *registryPath != "" {
+		if err := registry.SaveJSON(*registryPath); err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("instrumented:      %s (%d scripts, %d staged rewrites, %d embedded docs)\n", out, res.ScriptsInstrumented, res.StagedRewrites, len(res.Embedded))
+	if res.Key.InstrKey != "" {
+		fmt.Printf("protection key:    %s\n", res.Key)
+	}
+	for _, emb := range res.Embedded {
+		fmt.Printf("embedded key:      %s -> %s\n", emb.DocID, emb.Key)
+	}
+	fmt.Printf("spec:              %s\n", spec)
+	fmt.Printf("timing:            parse %.4fs, features %.4fs, instrument %.4fs\n",
+		res.Timing.ParseDecompress.Seconds(), res.Timing.FeatureExtraction.Seconds(), res.Timing.Instrumentation.Seconds())
+	return nil
+}

@@ -1,0 +1,137 @@
+// Evasion: the §IV security analysis as a runnable demo. A sophisticated
+// adversary tries, in order: (1) signature-based key search against the
+// context monitoring code, (2) a forged SOAP exit message, (3) patching the
+// monitoring code out of a script, and (4) structural mimicry that defeats
+// the static baselines. Each attempt runs for real and its outcome is
+// printed.
+//
+// Run with: go run ./examples/evasion
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pdfshield"
+	"pdfshield/internal/attack"
+	"pdfshield/internal/baseline"
+	"pdfshield/internal/corpus"
+	"pdfshield/internal/pdf"
+)
+
+func main() {
+	sys, err := pdfshield.New(pdfshield.Options{ViewerVersion: 8.0, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() { _ = sys.Close() }()
+
+	// ---- 1. key search -------------------------------------------------
+	fmt.Println("[1] signature-based key search against monitoring code")
+	doc := singleScriptDoc(`var x = 1;`)
+	inst, err := sys.Instrument("victim", doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	monitored := firstScript(inst.Output)
+	candidates := attack.SignatureKeySearch(monitored)
+	fmt.Printf("    memory scan finds %d key-shaped candidates (decoys included)\n", len(candidates))
+	fmt.Printf("    fixed-name search finds %d hits (randomized identifiers)\n", len(attack.FixedNameKeySearch(monitored)))
+
+	// ---- 2. forged exit message ----------------------------------------
+	fmt.Println("[2] forged exit message with a guessed key")
+	sys2, err := pdfshield.New(pdfshield.Options{ViewerVersion: 8.0, Seed: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() { _ = sys2.Close() }()
+	// The attacker picks one of the candidates — odds are it is a decoy.
+	forged := attack.ForgedExitScript("http://127.0.0.1:1/ctx", candidates[len(candidates)-1], "var y=2;")
+	v, err := sys2.ProcessDocument("forger", singleScriptDoc(forged))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("    verdict: malicious=%v reason=%q (zero tolerance)\n", v.Malicious, v.Reason)
+
+	// ---- 3. runtime patching -------------------------------------------
+	fmt.Println("[3] patching monitoring code out of the script")
+	patched := attack.PatchOutMonitoring(monitored)
+	fmt.Printf("    patched script still mentions SOAP: %v\n", containsSOAP(patched))
+	fmt.Println("    decryption is keyed on the enter acknowledgement -> payload cannot run unmonitored")
+
+	// ---- 4. structural mimicry ------------------------------------------
+	fmt.Println("[4] structural mimicry against static detectors [8]")
+	mimic := attack.MimicrySample(99)
+
+	g := corpus.NewGenerator(55)
+	var trainB, trainM [][]byte
+	for _, s := range g.BenignWithJS(40) {
+		trainB = append(trainB, s.Raw)
+	}
+	for _, s := range g.MaliciousBatch(40) {
+		trainM = append(trainM, s.Raw)
+	}
+	for _, name := range []string{"structpath", "pdfrate"} {
+		det, err := baseline.ByName(name, 9)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := det.Train(trainB, trainM); err != nil {
+			log.Fatal(err)
+		}
+		caught, err := det.Classify(mimic.Raw)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("    %-10s classifies the mimic as malicious: %v\n", name, caught)
+	}
+	v, err = sys.ProcessDocument(mimic.ID, mimic.Raw)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("    pdfshield  classifies the mimic as malicious: %v (malscore %d)\n", v.Malicious, v.Malscore)
+}
+
+func singleScriptDoc(script string) []byte {
+	d := pdf.NewDocument()
+	jsRef := d.Add(pdf.String{Value: []byte(script)})
+	action := d.Add(pdf.Dict{"S": pdf.Name("JavaScript"), "JS": jsRef})
+	catalog := d.Add(pdf.Dict{"Type": pdf.Name("Catalog"), "OpenAction": action})
+	d.Trailer["Root"] = catalog
+	raw, err := pdf.Write(d, pdf.WriteOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return raw
+}
+
+func firstScript(raw []byte) string {
+	doc, err := pdf.Parse(raw, pdf.ParseOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	chains, err := pdf.ReconstructChains(doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range chains.Chains {
+		if c.Triggered {
+			return c.Source
+		}
+	}
+	log.Fatal("no script found")
+	return ""
+}
+
+func containsSOAP(s string) bool {
+	return len(s) > 0 && (stringIndex(s, "SOAP.request") >= 0)
+}
+
+func stringIndex(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,57 @@
+// Quickstart: protect a machine against a malicious PDF end to end.
+//
+// The example generates one benign and one malicious document from the
+// synthetic corpus, then runs each through the full pipeline: static
+// analysis and instrumentation (Phase I), followed by opening inside a
+// hooked reader process wired to the live runtime detector (Phase II).
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pdfshield"
+	"pdfshield/internal/corpus"
+)
+
+func main() {
+	sys, err := pdfshield.New(pdfshield.Options{ViewerVersion: 8.0, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() { _ = sys.Close() }()
+
+	g := corpus.NewGenerator(7)
+	benign := g.BenignFormJS()
+	malicious, _ := g.MaliciousFamily("mal-printf")
+
+	for _, sample := range []corpus.Sample{benign, malicious} {
+		fmt.Printf("--- processing %s (%s, %d bytes)\n", sample.ID, sample.Family, len(sample.Raw))
+
+		static, err := pdfshield.Analyze(sample.Raw)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("    static features: %s\n", static)
+
+		verdict, err := sys.ProcessDocument(sample.ID, sample.Raw)
+		if err != nil {
+			log.Fatal(err)
+		}
+		switch {
+		case verdict.NoJavaScript:
+			fmt.Println("    verdict: out of scope (no Javascript)")
+		case verdict.Malicious:
+			fmt.Printf("    verdict: MALICIOUS (malscore %d, reason %s)\n", verdict.Malscore, verdict.Reason)
+			fmt.Printf("    positive features: %v\n", verdict.Features)
+			fmt.Printf("    confinement isolated: %v\n", verdict.IsolatedFiles)
+		default:
+			fmt.Println("    verdict: benign")
+		}
+	}
+
+	fmt.Printf("\ntotal quarantined artifacts: %d\n", sys.QuarantinedCount())
+	fmt.Println(pdfshield.Version)
+}

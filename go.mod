@@ -1,0 +1,3 @@
+module pdfshield
+
+go 1.22

@@ -1,0 +1,138 @@
+// Package attack implements the §IV adversary programs used by the security
+// analysis: mimicry against the SOAP channel (fake messages, key search),
+// runtime patching of monitoring code, and structural mimicry against the
+// static baselines [8]. Each attack is an executable program whose success
+// or failure the evaluation measures.
+package attack
+
+import (
+	"fmt"
+	"math/rand"
+	"regexp"
+	"strings"
+
+	"pdfshield/internal/corpus"
+	"pdfshield/internal/pdf"
+)
+
+// keyPattern matches the wire shape of protection keys (detector id,
+// colon, 24-hex instrumentation key) — what a signature-based memory scan
+// would grep for.
+var keyPattern = regexp.MustCompile(`[0-9a-zA-Z]{4,}:[0-9a-f]{24}`)
+
+// SignatureKeySearch simulates the §IV-B signature-based key search: the
+// attacker scans the (in-memory) monitoring code for strings shaped like
+// protection keys. Because the builder plants decoys with exactly the real
+// key's shape and randomizes all structure, the scan returns multiple
+// indistinguishable candidates.
+func SignatureKeySearch(monitoredSource string) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, m := range keyPattern.FindAllString(monitoredSource, -1) {
+		if !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// FixedNameKeySearch simulates the naive signature attack that looks for
+// well-known variable names near the key ("the key is stored … near an
+// identifiable string"). Randomized identifiers defeat it.
+var fixedNamePattern = regexp.MustCompile(`var\s+(key|_key|k|auth|password|MyPwd|secret)\s*=`)
+
+// FixedNameKeySearch returns identifier-anchored key candidates.
+func FixedNameKeySearch(monitoredSource string) []string {
+	return fixedNamePattern.FindAllString(monitoredSource, -1)
+}
+
+// PatchOutMonitoring simulates the §IV-B runtime patching attack: shellcode
+// locates the second script in memory and blanks out every statement that
+// references the monitoring channel, hoping the remaining code still runs.
+// Because the decryptor consumes the enter acknowledgement, the patched
+// script cannot decrypt the payload.
+func PatchOutMonitoring(monitoredSource string) string {
+	lines := strings.Split(monitoredSource, "\n")
+	var out []string
+	for _, line := range lines {
+		if !strings.Contains(line, "SOAP.request") {
+			out = append(out, line)
+			continue
+		}
+		// The attacker nulls monitoring statements. Assignments keep their
+		// left side alive to preserve syntax (a real patcher overwrites
+		// call sites with NOPs, leaving registers undefined).
+		if idx := strings.Index(line, "=SOAP.request"); idx >= 0 {
+			out = append(out, line[:idx]+"=void 0;")
+			continue
+		}
+		// Prologue/epilogue statements become no-ops; inside try/finally
+		// the structure is preserved.
+		patched := soapCallPattern.ReplaceAllString(line, "void 0")
+		out = append(out, patched)
+	}
+	return strings.Join(out, "\n")
+}
+
+var soapCallPattern = regexp.MustCompile(`SOAP\.request\(\{[^}]*\}\s*\}\)`)
+
+// ForgedExitScript builds the fake-message mimicry payload: before carrying
+// out its operations, the script sends a forged "exit" with a guessed key
+// so the detector believes Javascript has finished. Zero tolerance turns
+// the forgery itself into the alarm.
+func ForgedExitScript(endpoint, guessedKey, realBody string) string {
+	return fmt.Sprintf(
+		`try { SOAP.request({cURL:%q, oRequest:{Event:"exit", Key:%q, Seq:1}}); } catch (e) {}
+%s`, endpoint, guessedKey, realBody)
+}
+
+// MimicrySample transforms a working exploit into a structural mimic of
+// benign documents (the attack of Maiorca et al. [8] that defeats
+// structural detectors): plenty of pages, text content, fonts and metadata;
+// no header/keyword/encoding obfuscation; the Javascript chain is a tiny
+// fraction of the object graph. The runtime behaviour is unchanged.
+func MimicrySample(seed int64) corpus.Sample {
+	//nolint:gosec // deterministic attack-sample synthesis.
+	rng := rand.New(rand.NewSource(seed))
+	g := corpus.NewGenerator(seed + 1000)
+
+	// Start from a working exploit; harvest its script.
+	mal, _ := g.MaliciousFamily("mal-geticon")
+	script := extractFirstScript(mal.Raw)
+	if script == "" {
+		// Defensive: fall back to the raw sample.
+		return mal
+	}
+
+	// Rebuild inside a benign-shaped document.
+	raw, err := corpus.BuildBenignShapedExploit(rng, script)
+	if err != nil {
+		return mal
+	}
+	return corpus.Sample{
+		ID:      fmt.Sprintf("mimicry-%05d", seed),
+		Raw:     raw,
+		Label:   corpus.LabelMalicious,
+		Family:  "mal-mimicry",
+		HasJS:   true,
+		Outcome: corpus.OutcomeExploit,
+	}
+}
+
+func extractFirstScript(raw []byte) string {
+	doc, err := pdf.Parse(raw, pdf.ParseOptions{})
+	if err != nil {
+		return ""
+	}
+	chains, err := pdf.ReconstructChains(doc)
+	if err != nil {
+		return ""
+	}
+	for _, c := range chains.Chains {
+		if c.Triggered && c.Source != "" {
+			return c.Source
+		}
+	}
+	return ""
+}

@@ -1,0 +1,46 @@
+// Package baseline reimplements the detectors the paper compares against in
+// Table IX: byte n-gram analysis [17], PJScan [7], PDFRate [4], the
+// structural-path method [5], MDScan [9] and a Wepawet/JSAND-style lexical
+// analyzer [18]. Each is built from scratch on the internal/ml toolbox and
+// carries the documented blind spot that motivates the paper's approach.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Detector is a trainable document classifier.
+type Detector interface {
+	// Name identifies the detector in reports.
+	Name() string
+	// Train fits the detector on labelled raw documents.
+	Train(benign, malicious [][]byte) error
+	// Classify returns true when the document is deemed malicious.
+	Classify(raw []byte) (bool, error)
+}
+
+// ErrUntrained is returned by Classify before Train.
+var ErrUntrained = errors.New("baseline: detector not trained")
+
+// All returns one instance of every baseline, seeded deterministically.
+func All(seed int64) []Detector {
+	return []Detector{
+		NewNGram(seed),
+		NewPJScan(),
+		NewPDFRate(seed),
+		NewStructPath(),
+		NewMDScan(),
+		NewWepawet(),
+	}
+}
+
+// ByName returns a named baseline.
+func ByName(name string, seed int64) (Detector, error) {
+	for _, d := range All(seed) {
+		if d.Name() == name {
+			return d, nil
+		}
+	}
+	return nil, fmt.Errorf("baseline: unknown detector %q", name)
+}

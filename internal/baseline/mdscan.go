@@ -1,0 +1,112 @@
+package baseline
+
+import (
+	"strings"
+
+	"pdfshield/internal/js"
+)
+
+// MDScan reimplements Tzermias et al.'s extract-and-emulate detector [9]:
+// Javascript is extracted from the document and executed in a bare emulated
+// interpreter; heap-spray-scale allocations or vulnerable-API invocations
+// flag the document. Its documented weaknesses (§II) are inherited
+// faithfully: extraction is defeated by syntax obfuscation (e.g. shellcode
+// referenced as this.info.title — the emulator has no document context), and
+// PDF-specific objects are only partially emulated.
+type MDScan struct {
+	trained bool
+}
+
+var _ Detector = (*MDScan)(nil)
+
+// NewMDScan returns MDScan (training only records that Train ran; the
+// method is signature-free).
+func NewMDScan() *MDScan { return &MDScan{} }
+
+// Name implements Detector.
+func (*MDScan) Name() string { return "mdscan" }
+
+// Train implements Detector.
+func (d *MDScan) Train(benign, malicious [][]byte) error {
+	d.trained = true
+	return nil
+}
+
+// mdscanSprayThresholdMB flags emulated runs that allocate like a heap
+// spray.
+const mdscanSprayThresholdMB = 64
+
+// Classify implements Detector.
+func (d *MDScan) Classify(raw []byte) (bool, error) {
+	if !d.trained {
+		return false, ErrUntrained
+	}
+	src := extractJS(raw)
+	if src == "" {
+		return false, nil
+	}
+	return emulateAndJudge(src), nil
+}
+
+// emulateAndJudge runs extracted JS in a bare interpreter with partial
+// Acrobat stubs and inspects runtime behaviour.
+func emulateAndJudge(src string) bool {
+	it := js.New()
+	it.StepLimit = 20_000_000
+	it.MaxHeap = 512 << 20
+
+	suspicious := false
+	markVuln := func(name string) js.HostFn {
+		return func(_ *js.Interp, _ js.Value, args []js.Value) (js.Value, error) {
+			for _, a := range args {
+				if a.IsString() && a.StrLen() > 2048 {
+					suspicious = true
+				}
+			}
+			if name == "printf" && len(args) > 0 && args[0].IsString() &&
+				strings.Contains(args[0].Str(), "%4") {
+				suspicious = true
+			}
+			if name == "newPlayer" && len(args) > 0 && args[0].IsNull() {
+				suspicious = true
+			}
+			return js.Undefined(), nil
+		}
+	}
+
+	// Partial emulation: app and util exist; the Doc object does NOT (no
+	// document context in the emulator), so this.info.title-style sources
+	// throw before reaching their spray.
+	app := js.NewHostObject("app")
+	app.Set("viewerVersion", js.NumberValue(8.0))
+	app.Set("alert", js.ObjectValue(js.NewHostFunc("alert", func(_ *js.Interp, _ js.Value, _ []js.Value) (js.Value, error) {
+		return js.Undefined(), nil
+	})))
+	app.Set("setTimeOut", js.ObjectValue(js.NewHostFunc("setTimeOut", markVuln("setTimeOut"))))
+	it.Global.Declare("app", js.ObjectValue(app))
+
+	util := js.NewHostObject("util")
+	util.Set("printf", js.ObjectValue(js.NewHostFunc("printf", markVuln("printf"))))
+	util.Set("printd", js.ObjectValue(js.NewHostFunc("printd", func(_ *js.Interp, _ js.Value, _ []js.Value) (js.Value, error) {
+		return js.StringValue(""), nil
+	})))
+	it.Global.Declare("util", js.ObjectValue(util))
+
+	collab := js.NewHostObject("Collab")
+	collab.Set("getIcon", js.ObjectValue(js.NewHostFunc("getIcon", markVuln("getIcon"))))
+	it.Global.Declare("Collab", js.ObjectValue(collab))
+
+	media := js.NewHostObject("media")
+	media.Set("newPlayer", js.ObjectValue(js.NewHostFunc("newPlayer", markVuln("newPlayer"))))
+	it.Global.Declare("media", js.ObjectValue(media))
+
+	// No Doc / this.info / getField / spell / SOAP: incomplete emulation
+	// is the point.
+
+	_, _ = it.Run(src) // errors are expected on context-dependent scripts
+
+	if it.HeapBytes > mdscanSprayThresholdMB<<20 {
+		suspicious = true
+	}
+	return suspicious
+}

@@ -1,0 +1,146 @@
+package baseline
+
+import (
+	"math/rand"
+
+	"pdfshield/internal/ml"
+	"pdfshield/internal/pdf"
+)
+
+// PDFRate reimplements Smutz & Stavrou's detector [4]: metadata and
+// structural features over the document feed a bagged ensemble of decision
+// trees (their random forest). Strong on ordinary malicious documents,
+// evadable by mimicry on the same features [8].
+type PDFRate struct {
+	seed  int64
+	trees []*ml.Tree
+}
+
+var _ Detector = (*PDFRate)(nil)
+
+// NewPDFRate returns an untrained PDFRate.
+func NewPDFRate(seed int64) *PDFRate { return &PDFRate{seed: seed} }
+
+// Name implements Detector.
+func (*PDFRate) Name() string { return "pdfrate" }
+
+const (
+	pdfrateDim   = 14
+	pdfrateTrees = 9
+)
+
+// structuralVector computes PDFRate-style metadata/structural features.
+func structuralVector(raw []byte) []float64 {
+	v := make([]float64, pdfrateDim)
+	doc, err := pdf.Parse(raw, pdf.ParseOptions{})
+	if err != nil {
+		// Unparseable: suspicious shape on its own.
+		v[0] = -1
+		return v
+	}
+	var (
+		streams, pages, fonts, actions, jsKeys, names int
+		emptyObjs, annots, embedded, imageXObjects    int
+		totalStreamLen                                int
+	)
+	for _, num := range doc.Numbers() {
+		obj, _ := doc.Get(num)
+		var dict pdf.Dict
+		switch o := obj.Object.(type) {
+		case *pdf.Stream:
+			streams++
+			totalStreamLen += len(o.Raw)
+			dict = o.Dict
+		case pdf.Dict:
+			dict = o
+		}
+		if pdf.IsEmptyObject(obj.Object) {
+			emptyObjs++
+		}
+		if dict == nil {
+			continue
+		}
+		if t, _ := dict.Get("Type").(pdf.Name); t == "Page" {
+			pages++
+		} else if t == "Font" {
+			fonts++
+		} else if t == "Annot" {
+			annots++
+		} else if t == "EmbeddedFile" {
+			embedded++
+		}
+		if st, _ := dict.Get("Subtype").(pdf.Name); st == "Image" {
+			imageXObjects++
+		}
+		if s, _ := dict.Get("S").(pdf.Name); s == "JavaScript" {
+			actions++
+		}
+		for k := range dict {
+			if pdf.IsJavaScriptKey(k) {
+				jsKeys++
+			}
+			if k == "Names" {
+				names++
+			}
+		}
+	}
+	objs := float64(doc.Len())
+	v[0] = objs / 100
+	v[1] = float64(streams) / 50
+	v[2] = float64(pages) / 20
+	v[3] = float64(fonts) / 10
+	v[4] = float64(actions)
+	v[5] = float64(jsKeys)
+	v[6] = float64(names)
+	v[7] = float64(emptyObjs)
+	v[8] = float64(len(raw)) / (1 << 20)
+	if streams > 0 {
+		v[9] = float64(totalStreamLen) / float64(streams) / 10000
+	}
+	if objs > 0 {
+		v[10] = float64(pages) / objs
+	}
+	v[11] = float64(annots)
+	v[12] = float64(embedded)
+	v[13] = float64(imageXObjects) / 10
+	return v
+}
+
+// Train implements Detector: bagging over decision trees.
+func (d *PDFRate) Train(benign, malicious [][]byte) error {
+	full := &ml.Dataset{Dim: pdfrateDim}
+	for _, raw := range benign {
+		full.Add(structuralVector(raw), -1)
+	}
+	for _, raw := range malicious {
+		full.Add(structuralVector(raw), 1)
+	}
+	//nolint:gosec // deterministic bootstrap sampling.
+	rng := rand.New(rand.NewSource(d.seed + 7))
+	d.trees = d.trees[:0]
+	n := len(full.Examples)
+	for t := 0; t < pdfrateTrees; t++ {
+		boot := &ml.Dataset{Dim: pdfrateDim}
+		for i := 0; i < n; i++ {
+			ex := full.Examples[rng.Intn(n)]
+			boot.Add(ex.X, ex.Y)
+		}
+		d.trees = append(d.trees, ml.TrainTree(boot, ml.TreeConfig{MaxDepth: 10, MinLeafSize: 3}))
+	}
+	return nil
+}
+
+// Classify implements Detector (majority vote).
+func (d *PDFRate) Classify(raw []byte) (bool, error) {
+	if len(d.trees) == 0 {
+		return false, ErrUntrained
+	}
+	x := structuralVector(raw)
+	votes := 0
+	for _, t := range d.trees {
+		if t.Predict(x) > 0 {
+			votes++
+		}
+	}
+	return votes*2 > len(d.trees), nil
+}

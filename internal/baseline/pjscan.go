@@ -1,0 +1,157 @@
+package baseline
+
+import (
+	"math"
+	"strings"
+
+	"pdfshield/internal/instrument"
+	"pdfshield/internal/ml"
+)
+
+// PJScan reimplements Laskov & Šrndić's detector [7]: lexical token
+// statistics of the embedded Javascript feed a one-class model trained on
+// *malicious* scripts; a document classifies malicious when its lexical
+// profile falls inside the learned malicious region. Documents whose
+// Javascript cannot be extracted fall back to benign — one of the method's
+// documented weaknesses.
+type PJScan struct {
+	oc *ml.OneClass
+}
+
+var _ Detector = (*PJScan)(nil)
+
+// NewPJScan returns an untrained PJScan.
+func NewPJScan() *PJScan { return &PJScan{} }
+
+// Name implements Detector.
+func (*PJScan) Name() string { return "pjscan" }
+
+// pjscanDim is the lexical feature dimensionality.
+const pjscanDim = 12
+
+// lexicalVector computes PJScan-style features from extracted JS source.
+func lexicalVector(src string) []float64 {
+	v := make([]float64, pjscanDim)
+	if src == "" {
+		return v
+	}
+	n := float64(len(src))
+	strChars, maxStr := stringLiteralStats(src)
+	v[0] = float64(strChars) / n  // string density
+	v[1] = float64(maxStr) / 1000 // longest literal (kchars)
+	v[2] = float64(strings.Count(src, "eval")) + float64(strings.Count(src, "unescape"))
+	v[3] = float64(strings.Count(src, "%u")) / 100 // unicode escapes
+	v[4] = float64(strings.Count(src, "fromCharCode"))
+	v[5] = float64(strings.Count(src, "while")) + float64(strings.Count(src, "for"))
+	v[6] = float64(strings.Count(src, "+=")) / 10
+	v[7] = n / 10000 // script length (10kchars)
+	v[8] = float64(strings.Count(src, "var ")) / 10
+	v[9] = identifierEntropy(src)
+	v[10] = float64(strings.Count(src, "substring") + strings.Count(src, "substr") + strings.Count(src, "replace"))
+	v[11] = float64(strings.Count(src, "[")) / 10
+	return v
+}
+
+func stringLiteralStats(src string) (total, longest int) {
+	inStr := false
+	var quote byte
+	cur := 0
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		if inStr {
+			if c == '\\' {
+				i++
+				cur += 2
+				total += 2
+				continue
+			}
+			if c == quote {
+				inStr = false
+				if cur > longest {
+					longest = cur
+				}
+				cur = 0
+				continue
+			}
+			cur++
+			total++
+			continue
+		}
+		if c == '"' || c == '\'' {
+			inStr = true
+			quote = c
+		}
+	}
+	if cur > longest {
+		longest = cur
+	}
+	return total, longest
+}
+
+// identifierEntropy measures name randomness (obfuscators emit high-entropy
+// identifiers).
+func identifierEntropy(src string) float64 {
+	var counts [26]float64
+	total := 0.0
+	for i := 0; i < len(src); i++ {
+		c := src[i] | 0x20
+		if c >= 'a' && c <= 'z' {
+			counts[c-'a']++
+			total++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	h := 0.0
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := c / total
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// extractJS pulls all chain scripts out of a document ("" when none or
+// extraction fails).
+func extractJS(raw []byte) string {
+	_, chains, _, err := instrument.Analyze(raw)
+	if err != nil {
+		return ""
+	}
+	var sb strings.Builder
+	for _, c := range chains.Chains {
+		sb.WriteString(c.Source)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Train implements Detector: one-class on malicious lexical profiles.
+func (d *PJScan) Train(benign, malicious [][]byte) error {
+	var vectors [][]float64
+	for _, raw := range malicious {
+		src := extractJS(raw)
+		if src == "" {
+			continue
+		}
+		vectors = append(vectors, lexicalVector(src))
+	}
+	d.oc = ml.TrainOneClass(vectors, 0.90)
+	return nil
+}
+
+// Classify implements Detector.
+func (d *PJScan) Classify(raw []byte) (bool, error) {
+	if d.oc == nil {
+		return false, ErrUntrained
+	}
+	src := extractJS(raw)
+	if src == "" {
+		return false, nil // no JS extracted -> benign by construction
+	}
+	// Inside the malicious one-class boundary -> malicious.
+	return !d.oc.Anomalous(lexicalVector(src)), nil
+}

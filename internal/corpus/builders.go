@@ -1,0 +1,314 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"pdfshield/internal/pdf"
+)
+
+// docSpec describes one synthetic document to assemble.
+type docSpec struct {
+	// scripts to attach, in trigger order. The first is wired to
+	// /OpenAction; subsequent ones chain via /Next when nextChain is set,
+	// otherwise they go into the /Names Javascript tree.
+	scripts   []string
+	nextChain bool
+
+	// pages and contentBytes control benign bulk (and the F1 ratio).
+	pages        int
+	contentBytes int
+	// noPages omits the page tree entirely: every object sits on the
+	// Javascript chain (ratio exactly 1, the paper's 64 degenerate
+	// samples).
+	noPages bool
+	// imageBytes adds incompressible image XObjects totalling this size,
+	// so large documents stay large on disk (Table X/XI size classes).
+	imageBytes int
+
+	// infoTitle sets /Info /Title (benign metadata, or the payload hiding
+	// spot for title-hidden exploits).
+	infoTitle string
+	// noInfo suppresses the default /Info dictionary.
+	noInfo bool
+
+	// embedded exploit content.
+	flashPayload string // malformed SWF payload program
+	fontPayload  string // malformed font payload program
+	eggData      []byte // EmbeddedFile egg for egg-hunt samples
+	// embedPDFs are whole PDF documents attached as /EmbeddedFile streams
+	// (the embedded-document vector of §VI).
+	embedPDFs [][]byte
+
+	// obfuscation knobs (static features F2-F5).
+	headerObf      bool
+	hexKeyword     bool
+	emptyObjects   int
+	encodingLevels int // filter-chain depth for the JS stream (1 = normal)
+	noEncoding     bool
+
+	// scriptAsStream stores scripts in streams (vs direct strings).
+	scriptAsStream bool
+
+	// ownerPassword encrypts the document in view-only mode.
+	ownerPassword string
+}
+
+// buildDoc assembles the PDF for a spec.
+func buildDoc(rng *rand.Rand, spec docSpec) ([]byte, error) {
+	d := pdf.NewDocument()
+
+	// Content/pages first so object numbers resemble real generators.
+	var pageRefs pdf.Array
+	for i := 0; i < spec.pages; i++ {
+		var contentRef pdf.Object
+		if spec.contentBytes > 0 {
+			per := spec.contentBytes / spec.pages
+			content := syntheticContent(rng, per)
+			raw, filterObj, err := pdf.EncodeChain([]pdf.Name{pdf.FilterFlate}, content)
+			if err != nil {
+				return nil, err
+			}
+			contentRef = d.Add(&pdf.Stream{Dict: pdf.Dict{"Filter": filterObj}, Raw: raw})
+		}
+		pageDict := pdf.Dict{"Type": pdf.Name("Page")}
+		if contentRef != nil {
+			pageDict["Contents"] = contentRef
+		}
+		if spec.imageBytes > 0 {
+			per := spec.imageBytes / spec.pages
+			img := make([]byte, per)
+			for j := range img {
+				img[j] = byte(rng.Intn(256))
+			}
+			imgRef := d.Add(&pdf.Stream{
+				Dict: pdf.Dict{
+					"Type":    pdf.Name("XObject"),
+					"Subtype": pdf.Name("Image"),
+					"Width":   pdf.Integer(512),
+					"Height":  pdf.Integer(512),
+				},
+				Raw: img,
+			})
+			pageDict["Resources"] = pdf.Dict{"XObject": pdf.Dict{"Im0": imgRef}}
+		}
+		// Font resources add benign object bulk.
+		if spec.contentBytes > 0 && i == 0 {
+			font := d.Add(pdf.Dict{"Type": pdf.Name("Font"), "Subtype": pdf.Name("Type1"), "BaseFont": pdf.Name("Helvetica")})
+			pageDict["Resources"] = pdf.Dict{"Font": pdf.Dict{"F1": font}}
+		}
+		pageRefs = append(pageRefs, d.Add(pageDict))
+	}
+	catalog := pdf.Dict{"Type": pdf.Name("Catalog")}
+	if !spec.noPages {
+		if len(pageRefs) == 0 {
+			pageRefs = append(pageRefs, d.Add(pdf.Dict{"Type": pdf.Name("Page")}))
+		}
+		pages := d.Add(pdf.Dict{"Type": pdf.Name("Pages"), "Kids": pageRefs, "Count": pdf.Integer(len(pageRefs))})
+		catalog["Pages"] = pages
+	}
+
+	// Scripts.
+	if len(spec.scripts) > 0 {
+		actionRefs, err := addScripts(d, rng, spec)
+		if err != nil {
+			return nil, err
+		}
+		catalog["OpenAction"] = actionRefs[0]
+		if !spec.nextChain && len(actionRefs) > 1 {
+			// Remaining scripts through the Names tree.
+			var nameArr pdf.Array
+			for i, ref := range actionRefs[1:] {
+				nameArr = append(nameArr, pdf.String{Value: []byte(fmt.Sprintf("js%d", i))}, ref)
+			}
+			tree := d.Add(pdf.Dict{"Names": nameArr})
+			names := d.Add(pdf.Dict{"JavaScript": tree})
+			catalog["Names"] = names
+		}
+	}
+
+	// Embedded exploit carriers.
+	if spec.flashPayload != "" {
+		flash := d.Add(&pdf.Stream{
+			Dict: pdf.Dict{"Subtype": pdf.Name("Flash")},
+			Raw:  []byte("FWS\x09 malformed " + jsUnescapePayload(spec.flashPayload) + "|"),
+		})
+		annot := d.Add(pdf.Dict{"Type": pdf.Name("Annot"), "Subtype": pdf.Name("RichMedia"), "FS": flash})
+		// Attach to the first page when one exists.
+		if len(pageRefs) > 0 {
+			if first, ok := d.Get(pageRefs[0].(pdf.Ref).Num); ok {
+				if pd, isDict := first.Object.(pdf.Dict); isDict {
+					pd["Annots"] = pdf.Array{annot}
+				}
+			}
+		}
+	}
+	if spec.fontPayload != "" {
+		font := d.Add(&pdf.Stream{
+			Dict: pdf.Dict{"Subtype": pdf.Name("TrueType")},
+			Raw:  []byte("SING table \x00\x01 " + jsUnescapePayload(spec.fontPayload) + "|"),
+		})
+		desc := d.Add(pdf.Dict{"Type": pdf.Name("FontDescriptor"), "FontFile2": font})
+		d.Add(pdf.Dict{"Type": pdf.Name("Font"), "Subtype": pdf.Name("TrueType"), "FontDescriptor": desc})
+	}
+	for _, embedded := range spec.embedPDFs {
+		raw, filterObj, err := pdf.EncodeChain([]pdf.Name{pdf.FilterFlate}, embedded)
+		if err != nil {
+			return nil, err
+		}
+		d.Add(&pdf.Stream{
+			Dict: pdf.Dict{"Type": pdf.Name("EmbeddedFile"), "Filter": filterObj},
+			Raw:  raw,
+		})
+	}
+	if spec.eggData != nil {
+		d.Add(&pdf.Stream{
+			Dict: pdf.Dict{"Type": pdf.Name("EmbeddedFile")},
+			Raw:  append([]byte("EGG!"), spec.eggData...),
+		})
+	}
+
+	for i := 0; i < spec.emptyObjects; i++ {
+		d.Add(pdf.Dict{})
+	}
+
+	catalogRef := d.Add(catalog)
+	d.Trailer["Root"] = catalogRef
+	if !spec.noInfo {
+		title := spec.infoTitle
+		if title == "" {
+			titles := []string{
+				"Annual Report", "Meeting Minutes", "Invoice", "Datasheet",
+				"User Guide", "Conference Paper", "Expense Summary",
+			}
+			title = titles[rng.Intn(len(titles))]
+		}
+		producers := []string{
+			"LaTeX with hyperref", "Microsoft Word", "LibreOffice 4.0",
+			"Acrobat Distiller 9.0", "pdfTeX-1.40",
+		}
+		info := d.Add(pdf.Dict{
+			"Title":    pdf.String{Value: []byte(title)},
+			"Producer": pdf.String{Value: []byte(producers[rng.Intn(len(producers))])},
+		})
+		d.Trailer["Info"] = info
+	}
+
+	if spec.ownerPassword != "" {
+		if err := pdf.EncryptOwner(d, spec.ownerPassword); err != nil {
+			return nil, err
+		}
+	}
+
+	opts := pdf.WriteOptions{BinaryComment: spec.contentBytes > 0}
+	if spec.headerObf {
+		switch rng.Intn(3) {
+		case 0:
+			opts.HeaderJunk = []byte("GIF89a;junk-prefix-bytes\n")
+		case 1:
+			opts.Version = "8.1"
+		default:
+			opts.HeaderJunk = []byte(strings.Repeat("\x00", 64))
+		}
+	}
+	raw, err := pdf.Write(d, opts)
+	if err != nil {
+		return nil, err
+	}
+	if spec.hexKeyword {
+		raw = applyHexKeyword(rng, raw)
+	}
+	return raw, nil
+}
+
+// addScripts inserts script-holding actions, returning their refs.
+func addScripts(d *pdf.Document, rng *rand.Rand, spec docSpec) ([]pdf.Ref, error) {
+	refs := make([]pdf.Ref, len(spec.scripts))
+	// Build in reverse so /Next links resolve.
+	var next pdf.Object
+	for i := len(spec.scripts) - 1; i >= 0; i-- {
+		var jsVal pdf.Object
+		if spec.scriptAsStream || spec.encodingLevels > 0 {
+			levels := spec.encodingLevels
+			if levels == 0 {
+				levels = 1
+			}
+			chain := filterChain(rng, levels, spec.noEncoding)
+			raw, filterObj, err := pdf.EncodeChain(chain, []byte(spec.scripts[i]))
+			if err != nil {
+				return nil, err
+			}
+			dict := pdf.Dict{}
+			if filterObj != nil {
+				dict["Filter"] = filterObj
+			}
+			jsVal = d.Add(&pdf.Stream{Dict: dict, Raw: raw})
+		} else {
+			jsVal = pdf.String{Value: []byte(spec.scripts[i])}
+		}
+		action := pdf.Dict{"Type": pdf.Name("Action"), "S": pdf.Name("JavaScript"), "JS": jsVal}
+		if spec.nextChain && next != nil {
+			action["Next"] = next
+		}
+		ref := d.Add(action)
+		refs[i] = ref
+		next = ref
+	}
+	return refs, nil
+}
+
+func filterChain(rng *rand.Rand, levels int, noEncoding bool) []pdf.Name {
+	if noEncoding {
+		return nil
+	}
+	options := []pdf.Name{pdf.FilterFlate, pdf.FilterASCIIHex, pdf.FilterASCII85, pdf.FilterRunLength, pdf.FilterLZW}
+	chain := make([]pdf.Name, 0, levels)
+	chain = append(chain, pdf.FilterFlate)
+	for len(chain) < levels {
+		chain = append(chain, options[rng.Intn(len(options))])
+	}
+	return chain
+}
+
+// applyHexKeyword rewrites a /JS or /JavaScript key with #xx escapes at
+// byte level, the way obfuscated samples in the wild do.
+func applyHexKeyword(rng *rand.Rand, raw []byte) []byte {
+	s := string(raw)
+	replacements := []struct{ from, to string }{
+		{"/JS ", "/J#53 "},
+		{"/JavaScript ", "/JavaScr#69pt "},
+		{"/JavaScript ", "/Java#53cript "},
+	}
+	r := replacements[rng.Intn(len(replacements))]
+	if !strings.Contains(s, r.from) {
+		r = replacements[0]
+	}
+	return []byte(strings.Replace(s, r.from, r.to, 1))
+}
+
+// jsUnescapePayload converts a payload literal written for JS-string
+// embedding (double backslashes) into raw text for direct PDF embedding.
+func jsUnescapePayload(p string) string {
+	return strings.ReplaceAll(p, `\\`, `\`)
+}
+
+// syntheticContent renders a content stream of roughly n bytes.
+func syntheticContent(rng *rand.Rand, n int) []byte {
+	words := []string{
+		"annual", "report", "figure", "table", "analysis", "revenue",
+		"quarter", "growth", "infrastructure", "deployment", "latency",
+		"distributed", "systems", "evaluation", "performance", "summary",
+	}
+	var sb strings.Builder
+	sb.WriteString("BT /F1 11 Tf 72 720 Td\n")
+	for sb.Len() < n {
+		line := make([]string, 0, 8)
+		for i := 0; i < 8; i++ {
+			line = append(line, words[rng.Intn(len(words))])
+		}
+		fmt.Fprintf(&sb, "(%s) Tj 0 -14 Td\n", strings.Join(line, " "))
+	}
+	sb.WriteString("ET\n")
+	return []byte(sb.String())
+}

@@ -1,0 +1,256 @@
+// Package corpus synthesizes the benign and malicious PDF samples used by
+// the evaluation. The paper's dataset (Table V: 18623 benign / 7370
+// malicious from Contagiodump) is proprietary-by-circumstance; the
+// generators reproduce its *family mix* — exploit vector distribution,
+// obfuscation statistics (Table VI), Javascript-chain ratios (Figure 6) and
+// spray sizes (Figure 7) — so the evaluation statistics are driven by the
+// same population structure.
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Label classifies a sample's ground truth.
+type Label int
+
+// Labels.
+const (
+	LabelBenign Label = iota + 1
+	LabelMalicious
+)
+
+func (l Label) String() string {
+	if l == LabelMalicious {
+		return "malicious"
+	}
+	return "benign"
+}
+
+// Outcome is the expected runtime behaviour on the simulated Acrobat
+// 8.0/9.0.
+type Outcome int
+
+// Outcomes.
+const (
+	// OutcomeHarmless: benign behaviour.
+	OutcomeHarmless Outcome = iota + 1
+	// OutcomeExploit: working exploit, infection attempt visible.
+	OutcomeExploit
+	// OutcomeNoop: exploit does not work on this reader version ("did
+	// nothing" samples, excluded from FN accounting in Table VIII).
+	OutcomeNoop
+	// OutcomeCrash: exploit attempts but crashes the reader.
+	OutcomeCrash
+)
+
+// Sample is one synthetic document with ground truth.
+type Sample struct {
+	ID      string
+	Raw     []byte
+	Label   Label
+	Family  string
+	HasJS   bool
+	Outcome Outcome
+	// Obfuscated reports whether any static obfuscation was applied.
+	Obfuscated bool
+}
+
+// Generator builds samples deterministically from a seed.
+type Generator struct {
+	rng  *rand.Rand
+	next int
+}
+
+// NewGenerator returns a seeded generator.
+func NewGenerator(seed int64) *Generator {
+	//nolint:gosec // deterministic corpus synthesis, not cryptography.
+	return &Generator{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (g *Generator) id(prefix string) string {
+	g.next++
+	return fmt.Sprintf("%s-%05d", prefix, g.next)
+}
+
+// ---- benign families ----
+
+// BenignText builds a scriptless text document of roughly targetBytes.
+func (g *Generator) BenignText(targetBytes int) Sample {
+	pages := 1 + targetBytes/(24<<10)
+	if pages > 64 {
+		pages = 64
+	}
+	raw, err := buildDoc(g.rng, docSpec{pages: pages, contentBytes: targetBytes})
+	if err != nil {
+		panic("corpus: benign text: " + err.Error())
+	}
+	return Sample{ID: g.id("benign-text"), Raw: raw, Label: LabelBenign, Family: "benign-text", Outcome: OutcomeHarmless}
+}
+
+// BenignFormJS builds a form document with benign field Javascript.
+func (g *Generator) BenignFormJS() Sample {
+	nScripts := 1 + g.rng.Intn(3)
+	scripts := make([]string, nScripts)
+	for i := range scripts {
+		// Roughly half the form documents do real string work (report and
+		// table builders), giving the benign population its few-MB
+		// JS-context memory profile (Figure 7).
+		if g.rng.Intn(2) == 0 {
+			scripts[i] = benignHeavyScript(g.rng)
+		} else {
+			scripts[i] = benignFormScript(g.rng)
+		}
+	}
+	spec := docSpec{
+		scripts:        scripts,
+		pages:          8 + g.rng.Intn(16),
+		contentBytes:   40<<10 + g.rng.Intn(300<<10),
+		scriptAsStream: g.rng.Intn(2) == 0,
+	}
+	// A small tail of benign JS docs is small enough that its ratio
+	// crosses 0.2, matching Figure 6's benign tail.
+	if g.rng.Intn(14) == 0 {
+		spec.pages = 1
+		spec.contentBytes = 2 << 10
+	}
+	raw, err := buildDoc(g.rng, spec)
+	if err != nil {
+		panic("corpus: benign form: " + err.Error())
+	}
+	return Sample{ID: g.id("benign-form"), Raw: raw, Label: LabelBenign, Family: "benign-form-js", HasJS: true, Outcome: OutcomeHarmless}
+}
+
+// BenignNavJS builds a document with navigation/viewer scripts.
+func (g *Generator) BenignNavJS() Sample {
+	spec := docSpec{
+		scripts:      []string{benignNavScript(g.rng)},
+		pages:        8 + g.rng.Intn(20),
+		contentBytes: 60<<10 + g.rng.Intn(400<<10),
+	}
+	raw, err := buildDoc(g.rng, spec)
+	if err != nil {
+		panic("corpus: benign nav: " + err.Error())
+	}
+	return Sample{ID: g.id("benign-nav"), Raw: raw, Label: LabelBenign, Family: "benign-nav-js", HasJS: true, Outcome: OutcomeHarmless}
+}
+
+// BenignSOAPJS builds the rare legitimate SOAP web-service user.
+func (g *Generator) BenignSOAPJS() Sample {
+	spec := docSpec{
+		scripts:      []string{benignSOAPScript},
+		pages:        8,
+		contentBytes: 90 << 10,
+	}
+	raw, err := buildDoc(g.rng, spec)
+	if err != nil {
+		panic("corpus: benign soap: " + err.Error())
+	}
+	return Sample{ID: g.id("benign-soap"), Raw: raw, Label: LabelBenign, Family: "benign-soap-js", HasJS: true, Outcome: OutcomeHarmless}
+}
+
+// BenignMultiScript builds a document with sequentially chained scripts.
+func (g *Generator) BenignMultiScript() Sample {
+	n := 2 + g.rng.Intn(3)
+	scripts := make([]string, n)
+	for i := range scripts {
+		scripts[i] = benignFormScript(g.rng)
+	}
+	spec := docSpec{
+		scripts:      scripts,
+		nextChain:    true,
+		pages:        12 + g.rng.Intn(12),
+		contentBytes: 120 << 10,
+	}
+	raw, err := buildDoc(g.rng, spec)
+	if err != nil {
+		panic("corpus: benign multi: " + err.Error())
+	}
+	return Sample{ID: g.id("benign-multi"), Raw: raw, Label: LabelBenign, Family: "benign-multi-js", HasJS: true, Outcome: OutcomeHarmless}
+}
+
+// Sized builds a document of roughly targetBytes with Javascript, benign
+// or malicious, for the Table X/XI size-class measurements.
+func (g *Generator) Sized(targetBytes int, malicious bool) Sample {
+	if malicious {
+		s := g.Malicious()
+		if len(s.Raw) < targetBytes {
+			s.Raw = padDocument(s.Raw, targetBytes)
+		}
+		return s
+	}
+	pages := 1 + targetBytes/(48<<10)
+	if pages > 96 {
+		pages = 96
+	}
+	// Text compresses ~10:1; images are stored raw, so split the budget to
+	// land near the target on disk.
+	content := targetBytes / 4
+	images := targetBytes - content/10
+	if images < 0 {
+		images = 0
+	}
+	spec := docSpec{
+		scripts:        []string{benignFormScript(g.rng)},
+		pages:          pages,
+		contentBytes:   content,
+		imageBytes:     images,
+		scriptAsStream: true,
+	}
+	raw, err := buildDoc(g.rng, spec)
+	if err != nil {
+		panic("corpus: sized: " + err.Error())
+	}
+	return Sample{ID: g.id("sized"), Raw: raw, Label: LabelBenign, Family: "sized-benign", HasJS: true, Outcome: OutcomeHarmless}
+}
+
+// BuildBenignShapedExploit wraps an attacker-supplied script in a document
+// whose structure mimics the benign population: many pages, text content,
+// fonts, benign metadata, single-level encoding and no obfuscation. Used by
+// the structural-mimicry attack [8].
+func BuildBenignShapedExploit(rng *rand.Rand, script string) ([]byte, error) {
+	spec := docSpec{
+		scripts:        []string{script},
+		pages:          14 + rng.Intn(10),
+		contentBytes:   200<<10 + rng.Intn(100<<10),
+		scriptAsStream: true,
+		encodingLevels: 1,
+		infoTitle:      "Quarterly Business Review",
+	}
+	return buildDoc(rng, spec)
+}
+
+// padDocument appends comment padding after %%EOF; readers ignore it but
+// the file size (and parse surface) grows.
+func padDocument(raw []byte, target int) []byte {
+	for len(raw) < target {
+		chunk := target - len(raw)
+		if chunk > 4096 {
+			chunk = 4096
+		}
+		line := make([]byte, chunk)
+		line[0] = '%'
+		for i := 1; i < chunk-1; i++ {
+			line[i] = 'x'
+		}
+		line[chunk-1] = '\n'
+		raw = append(raw, line...)
+	}
+	return raw
+}
+
+// BenignEncrypted builds an owner-password (view-only) benign document.
+func (g *Generator) BenignEncrypted() Sample {
+	spec := docSpec{
+		scripts:       []string{benignFormScript(g.rng)},
+		pages:         8,
+		contentBytes:  80 << 10,
+		ownerPassword: fmt.Sprintf("owner-%04d", g.rng.Intn(10000)),
+	}
+	raw, err := buildDoc(g.rng, spec)
+	if err != nil {
+		panic("corpus: benign encrypted: " + err.Error())
+	}
+	return Sample{ID: g.id("benign-enc"), Raw: raw, Label: LabelBenign, Family: "benign-encrypted-js", HasJS: true, Outcome: OutcomeHarmless}
+}

@@ -1,0 +1,244 @@
+package corpus
+
+import (
+	"testing"
+
+	"pdfshield/internal/instrument"
+	"pdfshield/internal/pdf"
+)
+
+func TestBenignTextParses(t *testing.T) {
+	g := NewGenerator(1)
+	for _, size := range []int{2 << 10, 100 << 10, 1 << 20} {
+		s := g.BenignText(size)
+		feats, chains, _, err := instrument.Analyze(s.Raw)
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if chains.HasJavaScript() {
+			t.Errorf("benign text has JS")
+		}
+		if feats.HeaderObfuscated {
+			t.Errorf("benign text header obfuscated")
+		}
+	}
+}
+
+func TestBenignJSFamiliesParse(t *testing.T) {
+	g := NewGenerator(2)
+	samples := g.BenignWithJS(40)
+	for _, s := range samples {
+		feats, chains, _, err := instrument.Analyze(s.Raw)
+		if err != nil {
+			t.Fatalf("%s: %v", s.ID, err)
+		}
+		if !chains.HasJavaScript() {
+			t.Errorf("%s (%s): no JS found", s.ID, s.Family)
+		}
+		if feats.HeaderObfuscated || feats.HexCodeCount > 0 || feats.EmptyObjects > 0 {
+			t.Errorf("%s: benign doc carries obfuscation: %s", s.ID, feats)
+		}
+		if feats.EncodingLevels > 1 {
+			t.Errorf("%s: benign multi-encoding: %d", s.ID, feats.EncodingLevels)
+		}
+	}
+}
+
+func TestBenignRatioMostlyLow(t *testing.T) {
+	g := NewGenerator(3)
+	samples := g.BenignWithJS(100)
+	low := 0
+	for _, s := range samples {
+		_, chains, _, err := instrument.Analyze(s.Raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if chains.Ratio() < 0.2 {
+			low++
+		}
+	}
+	// Figure 6: ~90% of benign documents below 0.2.
+	if low < 75 {
+		t.Errorf("only %d/100 benign docs below ratio threshold", low)
+	}
+}
+
+func TestMaliciousRatioMostlyHigh(t *testing.T) {
+	g := NewGenerator(4)
+	samples := g.MaliciousBatch(100)
+	high := 0
+	for _, s := range samples {
+		_, chains, _, err := instrument.Analyze(s.Raw)
+		if err != nil {
+			t.Fatalf("%s: %v", s.ID, err)
+		}
+		if chains.Ratio() >= 0.2 {
+			high++
+		}
+	}
+	// Figure 6: ~95% of malicious documents above 0.2.
+	if high < 85 {
+		t.Errorf("only %d/100 malicious docs above ratio threshold", high)
+	}
+}
+
+func TestMaliciousSamplesAllHaveJS(t *testing.T) {
+	g := NewGenerator(5)
+	for _, s := range g.MaliciousBatch(60) {
+		// mal-embedded hides its Javascript inside an attached PDF, which
+		// only the deep analysis sees.
+		merged, _, err := instrument.AnalyzeDeep(s.Raw)
+		if err != nil {
+			t.Fatalf("%s: %v", s.ID, err)
+		}
+		if !merged.HasJavaScript {
+			t.Errorf("%s (%s): no JS found even deep", s.ID, s.Family)
+		}
+	}
+}
+
+func TestEveryMaliciousFamilyBuilds(t *testing.T) {
+	g := NewGenerator(6)
+	for _, name := range MaliciousFamilies() {
+		s, ok := g.MaliciousFamily(name)
+		if !ok {
+			t.Fatalf("family %s missing", name)
+		}
+		if _, err := pdf.Parse(s.Raw, pdf.ParseOptions{}); err != nil {
+			t.Errorf("%s: parse: %v", name, err)
+		}
+		if s.Label != LabelMalicious {
+			t.Errorf("%s: label %v", name, s.Label)
+		}
+	}
+}
+
+func TestObfuscationStatisticsRoughlyMatchTableVI(t *testing.T) {
+	g := NewGenerator(7)
+	const n = 2000
+	headerObf, hexCode, emptyObjs, multiEnc, noEnc := 0, 0, 0, 0, 0
+	for i := 0; i < n; i++ {
+		s := g.Malicious()
+		feats, _, _, err := instrument.Analyze(s.Raw)
+		if err != nil {
+			t.Fatalf("%s: %v", s.ID, err)
+		}
+		if feats.HeaderObfuscated {
+			headerObf++
+		}
+		if feats.HexCodeCount > 0 {
+			hexCode++
+		}
+		if feats.EmptyObjects > 0 {
+			emptyObjs++
+		}
+		switch {
+		case feats.EncodingLevels >= 2:
+			multiEnc++
+		case feats.EncodingLevels == 0:
+			noEnc++
+		}
+	}
+	// Paper rates: 7.8% header obf, 7.4% hex, 0.18% empty objects, ~1%
+	// multi-encoding, ~3.2% no encoding. Allow generous tolerance.
+	within := func(name string, got int, wantPct, tolPct float64) {
+		gotPct := float64(got) / n * 100
+		if gotPct < wantPct-tolPct || gotPct > wantPct+tolPct {
+			t.Errorf("%s rate = %.2f%%, want %.2f%%±%.2f", name, gotPct, wantPct, tolPct)
+		}
+	}
+	within("header-obf", headerObf, 7.8, 3)
+	within("hex-code", hexCode, 7.4, 3)
+	within("empty-objects", emptyObjs, 0.18, 0.5)
+	within("multi-encoding", multiEnc, 1.0, 1.0)
+	within("no-encoding", noEnc, 3.2, 2.5)
+}
+
+func TestOutcomeMixIncludesNoopAndCrash(t *testing.T) {
+	g := NewGenerator(8)
+	counts := map[Outcome]int{}
+	for _, s := range g.MaliciousBatch(400) {
+		counts[s.Outcome]++
+	}
+	if counts[OutcomeNoop] == 0 {
+		t.Error("no noop samples in mix")
+	}
+	if counts[OutcomeCrash] == 0 {
+		t.Error("no crasher samples in mix")
+	}
+	if counts[OutcomeExploit] < 300 {
+		t.Errorf("working exploits = %d/400, too few", counts[OutcomeExploit])
+	}
+	noopPct := float64(counts[OutcomeNoop]) / 400 * 100
+	if noopPct < 2 || noopPct > 12 {
+		t.Errorf("noop fraction %.1f%%, want ~6%%", noopPct)
+	}
+}
+
+func TestBenignBatchJSIncidence(t *testing.T) {
+	g := NewGenerator(9)
+	samples := g.BenignBatch(400)
+	withJS := 0
+	for _, s := range samples {
+		if s.HasJS {
+			withJS++
+		}
+	}
+	// Paper: 994/18623 ≈ 5.3%.
+	pct := float64(withJS) / 4
+	if pct < 2 || pct > 10 {
+		t.Errorf("JS incidence = %.1f%%, want ~5%%", pct)
+	}
+}
+
+func TestSizedDocuments(t *testing.T) {
+	g := NewGenerator(10)
+	for _, target := range []int{2 << 10, 24 << 10, 325 << 10, 2 << 20} {
+		s := g.Sized(target, false)
+		if len(s.Raw) < target/2 || len(s.Raw) > target*3 {
+			t.Errorf("target %d: got %d bytes", target, len(s.Raw))
+		}
+		if _, chains, _, err := instrument.Analyze(s.Raw); err != nil || !chains.HasJavaScript() {
+			t.Errorf("target %d: analyze err=%v", target, err)
+		}
+	}
+	m := g.Sized(512<<10, true)
+	if len(m.Raw) < 256<<10 {
+		t.Errorf("padded malicious = %d bytes", len(m.Raw))
+	}
+	if _, err := pdf.Parse(m.Raw, pdf.ParseOptions{}); err != nil {
+		t.Errorf("padded malicious parse: %v", err)
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := NewGenerator(42).MaliciousBatch(5)
+	b := NewGenerator(42).MaliciousBatch(5)
+	for i := range a {
+		if a[i].Family != b[i].Family || len(a[i].Raw) != len(b[i].Raw) {
+			t.Errorf("sample %d differs across equal seeds", i)
+		}
+	}
+}
+
+func TestEncryptedBenignRoundTrip(t *testing.T) {
+	g := NewGenerator(11)
+	s := g.BenignEncrypted()
+	doc, err := pdf.Parse(s.Raw, pdf.ParseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !doc.IsEncrypted() {
+		t.Fatal("sample not encrypted")
+	}
+	feats, chains, _, err := instrument.Analyze(s.Raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !chains.HasJavaScript() {
+		t.Error("JS not recovered after password removal")
+	}
+	if !feats.HasJavaScript {
+		t.Error("features missed JS")
+	}
+}

@@ -1,0 +1,397 @@
+package corpus
+
+import (
+	"math/rand"
+
+	"pdfshield/internal/reader"
+)
+
+// malFamily defines one malicious family's construction.
+type malFamily struct {
+	Name string
+	// Weight is the relative frequency in the corpus mix; the mix
+	// reproduces the exploit-vector distribution the paper describes
+	// (interpreter CVEs dominate; Flash/U3D/font vectors present; ~6%
+	// non-working on Acrobat 8/9; a small crasher tail).
+	Weight  int
+	Outcome Outcome
+	Build   func(g *Generator) docSpec
+}
+
+// payloadFor draws a payload program.
+func payloadFor(rng *rand.Rand) string {
+	switch rng.Intn(6) {
+	case 0, 1:
+		return payloadDropExec(rng)
+	case 2:
+		return payloadDriveBy(rng)
+	case 3:
+		return payloadReverseShell(rng)
+	case 4:
+		return payloadDropExec(rng) + ";" + payloadReverseShell(rng)
+	default:
+		return payloadInject(rng)
+	}
+}
+
+// jsExploitSpec assembles spray + trigger for an in-JS CVE.
+func (g *Generator) jsExploitSpec(cve string, succeed bool) docSpec {
+	payload := payloadFor(g.rng)
+	body := sprayJS(g.rng, payload, sprayMBFor(g.rng, cve, succeed)) + "\n" + triggerJS(g.rng, cve)
+	if g.rng.Intn(3) == 0 {
+		body = obfuscateSource(g.rng, body)
+	}
+	return docSpec{
+		scripts:        []string{body},
+		pages:          1,
+		scriptAsStream: true,
+	}
+}
+
+var malFamilies = []malFamily{
+	{
+		Name: "mal-printf", Weight: 18, Outcome: OutcomeExploit,
+		Build: func(g *Generator) docSpec { return g.jsExploitSpec(reader.CVE20082992, true) },
+	},
+	{
+		Name: "mal-geticon", Weight: 16, Outcome: OutcomeExploit,
+		Build: func(g *Generator) docSpec { return g.jsExploitSpec(reader.CVE20090927, true) },
+	},
+	{
+		Name: "mal-newplayer", Weight: 12, Outcome: OutcomeExploit,
+		Build: func(g *Generator) docSpec { return g.jsExploitSpec(reader.CVE20094324, true) },
+	},
+	{
+		Name: "mal-customdict", Weight: 7, Outcome: OutcomeExploit,
+		Build: func(g *Generator) docSpec { return g.jsExploitSpec(reader.CVE20091493, true) },
+	},
+	{
+		Name: "mal-printseps", Weight: 5, Outcome: OutcomeExploit,
+		Build: func(g *Generator) docSpec { return g.jsExploitSpec(reader.CVE20104091, true) },
+	},
+	{
+		Name: "mal-flash", Weight: 8, Outcome: OutcomeExploit,
+		Build: func(g *Generator) docSpec {
+			// JS only sprays; the malformed SWF triggers out of JS context.
+			spec := docSpec{
+				scripts:        []string{sprayJS(g.rng, "", sprayMBFor(g.rng, reader.CVE20103654, true))},
+				pages:          1,
+				scriptAsStream: true,
+				flashPayload:   payloadFor(g.rng),
+			}
+			return spec
+		},
+	},
+	{
+		Name: "mal-cooltype", Weight: 8, Outcome: OutcomeExploit,
+		Build: func(g *Generator) docSpec {
+			return docSpec{
+				scripts:        []string{sprayJS(g.rng, "", sprayMBFor(g.rng, reader.CVE20102883, true))},
+				pages:          1,
+				scriptAsStream: true,
+				fontPayload:    payloadFor(g.rng),
+			}
+		},
+	},
+	{
+		Name: "mal-getannots", Weight: 4, Outcome: OutcomeNoop,
+		Build: func(g *Generator) docSpec {
+			// CVE-2009-1492 samples gate on the viewer version and bail on
+			// Acrobat 8/9 before doing anything observable — the paper's
+			// "did nothing when opened" population.
+			spec := g.jsExploitSpec(reader.CVE20091492, true)
+			spec.scripts[0] = "if (app.viewerVersion > 9.05 && app.viewerVersion < 9.2) {\n" + spec.scripts[0] + "\n}"
+			return spec
+		},
+	},
+	{
+		Name: "mal-xfa", Weight: 2, Outcome: OutcomeNoop,
+		Build: func(g *Generator) docSpec {
+			// CVE-2013-0640-style: targets Reader 11; on Acrobat 8/9 the
+			// version check fails and the sample does nothing.
+			body := sprayJS(g.rng, payloadFor(g.rng), 60)
+			return docSpec{
+				scripts:        []string{"if (app.viewerVersion >= 11) {\n" + body + "\n}"},
+				pages:          1,
+				scriptAsStream: true,
+			}
+		},
+	},
+	{
+		Name: "mal-egghunt", Weight: 4, Outcome: OutcomeExploit,
+		Build: func(g *Generator) docSpec {
+			cve := reader.CVE20090927
+			spec := docSpec{
+				scripts: []string{
+					sprayJS(g.rng, payloadEggHunt(g.rng), sprayMBFor(g.rng, cve, true)) + "\n" + triggerJS(g.rng, cve),
+				},
+				pages:          1,
+				scriptAsStream: true,
+				eggData:        []byte("MZ\x90 second-stage implant"),
+			}
+			return spec
+		},
+	},
+	{
+		Name: "mal-driveby", Weight: 4, Outcome: OutcomeExploit,
+		Build: func(g *Generator) docSpec {
+			cve := reader.CVE20094324
+			return docSpec{
+				scripts: []string{
+					sprayJS(g.rng, payloadDriveBy(g.rng), sprayMBFor(g.rng, cve, true)) + "\n" + triggerJS(g.rng, cve),
+				},
+				pages:          1,
+				scriptAsStream: true,
+			}
+		},
+	},
+	{
+		Name: "mal-staged", Weight: 2, Outcome: OutcomeExploit,
+		Build: func(g *Generator) docSpec {
+			cve := reader.CVE20082992
+			inner := sprayJS(g.rng, payloadFor(g.rng), sprayMBFor(g.rng, cve, true)) + "\n" + triggerJS(g.rng, cve)
+			stage1 := `this.addScript("updater", ` + jsQuote(inner) + `);`
+			return docSpec{scripts: []string{stage1}, pages: 1, scriptAsStream: true}
+		},
+	},
+	{
+		Name: "mal-delayed", Weight: 2, Outcome: OutcomeExploit,
+		Build: func(g *Generator) docSpec {
+			cve := reader.CVE20104091
+			inner := sprayJS(g.rng, payloadFor(g.rng), sprayMBFor(g.rng, cve, true)) + "\n" + triggerJS(g.rng, cve)
+			stage1 := `app.setTimeOut(` + jsQuote(inner) + `, 3000);`
+			return docSpec{scripts: []string{stage1}, pages: 1, scriptAsStream: true}
+		},
+	},
+	{
+		Name: "mal-titlehidden", Weight: 2, Outcome: OutcomeExploit,
+		Build: func(g *Generator) docSpec {
+			// Syntax obfuscation from §II: the payload lives in the
+			// document title and the script references this.info.title.
+			cve := reader.CVE20090927
+			payload := payloadDropExec(g.rng)
+			v := varNamer(g.rng)
+			pv, nv, bv, iv := v("p"), v("n"), v("b"), v("i")
+			mb := sprayMBFor(g.rng, cve, true)
+			script := `
+var ` + pv + ` = this.info.title;
+var ` + nv + ` = unescape("%0c%0c%0c%0c");
+while (` + nv + `.length < 524288) ` + nv + ` += ` + nv + `;
+var ` + bv + ` = [];
+for (var ` + iv + ` = 0; ` + iv + ` < ` + itoa(mb) + `; ` + iv + `++) ` + bv + `[` + iv + `] = ` + nv + ` + ` + pv + ` + "|";
+` + triggerJS(g.rng, cve)
+			return docSpec{
+				scripts:        []string{script},
+				pages:          1,
+				scriptAsStream: true,
+				infoTitle:      jsUnescapePayload(payload),
+			}
+		},
+	},
+	{
+		Name: "mal-embedded", Weight: 2, Outcome: OutcomeExploit,
+		Build: func(g *Generator) docSpec {
+			// §VI vector: a clean-looking host carrying a malicious PDF as
+			// an attachment. The host itself has no Javascript at all.
+			inner := g.jsExploitSpec(reader.CVE20090927, true)
+			innerRaw, err := buildDoc(g.rng, inner)
+			if err != nil {
+				panic("corpus: mal-embedded inner: " + err.Error())
+			}
+			return docSpec{
+				pages:        4,
+				contentBytes: 90 << 10,
+				embedPDFs:    [][]byte{innerRaw},
+			}
+		},
+	},
+	{
+		Name: "mal-crasher", Weight: 2, Outcome: OutcomeCrash,
+		Build: func(g *Generator) docSpec {
+			// Obfuscated crasher: spray too small, hijack misses, but
+			// static features + F8 still catch it.
+			spec := g.jsExploitSpec(reader.CVE20082992, false)
+			return spec
+		},
+	},
+	{
+		Name: "mal-crasher-clean", Weight: 3, Outcome: OutcomeCrash,
+		Build: func(g *Generator) docSpec {
+			// Unobfuscated crasher: the paper's 25 false negatives — no
+			// static feature contributes and the exploit never completes.
+			cve := reader.CVE20094324
+			body := sprayJS(g.rng, payloadDropExec(g.rng), sprayMBFor(g.rng, cve, false)) + "\n" + triggerJS(g.rng, cve)
+			return docSpec{
+				scripts:        []string{body},
+				pages:          2,
+				contentBytes:   60 << 10, // enough benign bulk to keep F1 low
+				scriptAsStream: true,
+				noEncoding:     true,
+			}
+		},
+	},
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// Malicious builds one malicious sample from the weighted family mix,
+// applying the Table VI obfuscation statistics.
+func (g *Generator) Malicious() Sample {
+	total := 0
+	for _, f := range malFamilies {
+		total += f.Weight
+	}
+	pick := g.rng.Intn(total)
+	var fam malFamily
+	for _, f := range malFamilies {
+		if pick < f.Weight {
+			fam = f
+			break
+		}
+		pick -= f.Weight
+	}
+	return g.buildMalicious(fam)
+}
+
+// MaliciousFamily builds a sample from a named family.
+func (g *Generator) MaliciousFamily(name string) (Sample, bool) {
+	for _, f := range malFamilies {
+		if f.Name == name {
+			return g.buildMalicious(f), true
+		}
+	}
+	return Sample{}, false
+}
+
+// MaliciousFamilies lists family names.
+func MaliciousFamilies() []string {
+	out := make([]string, len(malFamilies))
+	for i, f := range malFamilies {
+		out[i] = f.Name
+	}
+	return out
+}
+
+func (g *Generator) buildMalicious(fam malFamily) Sample {
+	spec := fam.Build(g)
+	// Malware generators rarely bother with document metadata; a minority
+	// carries junk /Info to look less bare.
+	if spec.infoTitle == "" && g.rng.Intn(100) >= 15 {
+		spec.noInfo = true
+	}
+	obfuscated := false
+	if fam.Name != "mal-crasher-clean" {
+		// Table VI rates over the malicious corpus: header obfuscation
+		// 578/7370, hex keywords 543/7370, empty objects 13/7370,
+		// multi-level encoding 71/7370, no encoding 233/7370.
+		if g.rng.Intn(1000) < 78 {
+			spec.headerObf = true
+			obfuscated = true
+		}
+		if g.rng.Intn(1000) < 74 {
+			spec.hexKeyword = true
+			obfuscated = true
+		}
+		if g.rng.Intn(10000) < 18 {
+			spec.emptyObjects = 1 + g.rng.Intn(3)
+			obfuscated = true
+		}
+		// mal-crasher-clean (3.2% of the mix) already contributes the bulk
+		// of the no-encoding population.
+		switch r := g.rng.Intn(1000); {
+		case r < 10:
+			spec.encodingLevels = 2 + g.rng.Intn(2)
+			obfuscated = true
+		case r < 15:
+			spec.noEncoding = true
+		default:
+			if spec.encodingLevels == 0 {
+				spec.encodingLevels = 1
+			}
+		}
+		// ~5% of malicious docs carry benign-looking bulk, producing the
+		// low-ratio tail of Figure 6; ~6% are degenerate (no page content
+		// at all), the paper's 64 ratio-1 samples.
+		switch r := g.rng.Intn(100); {
+		case r < 5:
+			spec.pages = 7
+			spec.contentBytes = 240 << 10
+		case r < 11:
+			if spec.flashPayload == "" && spec.fontPayload == "" {
+				spec.noPages = true
+				spec.pages = 0
+			}
+		}
+	}
+	raw, err := buildDoc(g.rng, spec)
+	if err != nil {
+		panic("corpus: " + fam.Name + ": " + err.Error())
+	}
+	return Sample{
+		ID:         g.id(fam.Name),
+		Raw:        raw,
+		Label:      LabelMalicious,
+		Family:     fam.Name,
+		HasJS:      true,
+		Outcome:    fam.Outcome,
+		Obfuscated: obfuscated,
+	}
+}
+
+// MaliciousBatch builds n malicious samples from the mix.
+func (g *Generator) MaliciousBatch(n int) []Sample {
+	out := make([]Sample, n)
+	for i := range out {
+		out[i] = g.Malicious()
+	}
+	return out
+}
+
+// BenignWithJS builds n benign samples that all contain Javascript
+// (the 994-sample population of §V-B).
+func (g *Generator) BenignWithJS(n int) []Sample {
+	out := make([]Sample, 0, n)
+	for len(out) < n {
+		var s Sample
+		switch g.rng.Intn(20) {
+		case 0:
+			s = g.BenignSOAPJS()
+		case 1, 2:
+			s = g.BenignMultiScript()
+		case 3:
+			s = g.BenignEncrypted()
+		case 4, 5, 6:
+			s = g.BenignNavJS()
+		default:
+			s = g.BenignFormJS()
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// BenignBatch builds n benign samples with the paper's ~5% JS incidence.
+func (g *Generator) BenignBatch(n int) []Sample {
+	out := make([]Sample, 0, n)
+	for len(out) < n {
+		if g.rng.Intn(100) < 5 {
+			out = append(out, g.BenignWithJS(1)...)
+			continue
+		}
+		size := 4<<10 + g.rng.Intn(900<<10)
+		out = append(out, g.BenignText(size))
+	}
+	return out
+}

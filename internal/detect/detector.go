@@ -1,0 +1,551 @@
+package detect
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"pdfshield/internal/hook"
+	"pdfshield/internal/instrument"
+	"pdfshield/internal/sandbox"
+	"pdfshield/internal/soapsrv"
+	"pdfshield/internal/winos"
+)
+
+// Config configures the runtime detector.
+type Config struct {
+	// Registry maps instrumentation keys to documents (shared with the
+	// front-end).
+	Registry *instrument.Registry
+	// OS is the fake OS confinement acts on.
+	OS *winos.OS
+	// DownloadsPath persists the JS-context executable list ("" = memory).
+	DownloadsPath string
+	// W1, W2, Threshold override Table VII (0 = defaults).
+	W1, W2, Threshold int
+	// MemoryThresholdMB overrides the F8 cutoff (0 = 100 MB).
+	MemoryThresholdMB float64
+}
+
+// Alert is raised when a document's malscore crosses the threshold or a
+// fake message is received.
+type Alert struct {
+	DocID    string
+	InstrKey string
+	Malscore int
+	Features Vector
+	Reason   string
+	// IsolatedFiles are paths quarantined by confinement.
+	IsolatedFiles []string
+	// TerminatedPIDs are sandboxed processes killed by confinement.
+	TerminatedPIDs []int
+	// Ops is the recorded suspicious-operation log.
+	Ops []string
+}
+
+// DocState is the per-document runtime state (one active malscore per
+// unknown open PDF, §III-E).
+type DocState struct {
+	InstrKey string
+	DocID    string
+	Features Vector
+	// Armed reports that at least one JS-context operation was captured;
+	// until then sensitive operations are ignored for this document.
+	Armed bool
+	// EnterMemMB is the process memory at the current JS-context entry.
+	EnterMemMB float64
+	// PeakMemMB is the peak observed while in JS context.
+	PeakMemMB float64
+	// InContext reports the document is currently executing Javascript.
+	InContext bool
+	// Alerted latches once an alert fires.
+	Alerted bool
+	// Ops logs recorded suspicious operations.
+	Ops []string
+	// DroppedFiles are files written while this document was active.
+	DroppedFiles []string
+	// SandboxPIDs are processes started (sandboxed) on this document's
+	// behalf.
+	SandboxPIDs []int
+	// InjectedDLLs are DLL paths whose injection was rejected.
+	InjectedDLLs []string
+}
+
+// processCreationWhitelist holds the benign spawns of §III-D (error
+// reporting and reader-update helpers).
+var processCreationWhitelist = []string{"werfault", "adobearm", "acrocef", "wermgr", "reader_sl"}
+
+func whitelistedProcess(path string) bool {
+	p := strings.ToLower(path)
+	for _, w := range processCreationWhitelist {
+		if strings.Contains(p, w) {
+			return true
+		}
+	}
+	return false
+}
+
+// Detector is the stand-alone runtime detector.
+type Detector struct {
+	cfg       Config
+	soap      *soapsrv.Server
+	hooks     *hook.Server
+	downloads *DownloadList
+	sandbox   *sandbox.Sandbox
+
+	mu        sync.Mutex
+	docs      map[string]*DocState // by instrumentation key
+	activeKey string
+	lastMemMB float64
+	alerts    []Alert
+}
+
+// New creates a detector (not yet started).
+func New(cfg Config) (*Detector, error) {
+	if cfg.Registry == nil {
+		return nil, errors.New("detect: registry required")
+	}
+	if cfg.OS == nil {
+		cfg.OS = winos.NewOS()
+	}
+	if cfg.W1 == 0 {
+		cfg.W1 = DefaultW1
+	}
+	if cfg.W2 == 0 {
+		cfg.W2 = DefaultW2
+	}
+	if cfg.Threshold == 0 {
+		cfg.Threshold = DefaultThreshold
+	}
+	if cfg.MemoryThresholdMB == 0 {
+		cfg.MemoryThresholdMB = MemoryThresholdMB
+	}
+	downloads, err := NewDownloadList(cfg.DownloadsPath)
+	if err != nil {
+		return nil, err
+	}
+	d := &Detector{
+		cfg:       cfg,
+		downloads: downloads,
+		sandbox:   sandbox.New(cfg.OS),
+		docs:      make(map[string]*DocState),
+	}
+	d.soap = soapsrv.NewServer(d.handleNotify)
+	d.hooks = hook.NewServer(d.handleEvent)
+	return d, nil
+}
+
+// Start launches the SOAP and hook servers.
+func (d *Detector) Start() error {
+	if err := d.soap.Start(); err != nil {
+		return err
+	}
+	if err := d.hooks.Start(); err != nil {
+		_ = d.soap.Close()
+		return err
+	}
+	return nil
+}
+
+// Close shuts both servers down.
+func (d *Detector) Close() error {
+	err1 := d.soap.Close()
+	err2 := d.hooks.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// SOAPURL returns the context-notification endpoint.
+func (d *Detector) SOAPURL() string { return d.soap.URL() }
+
+// HookAddr returns the hook TCP endpoint.
+func (d *Detector) HookAddr() string { return d.hooks.Addr() }
+
+// Sandbox exposes the confinement sandbox (tests and examples).
+func (d *Detector) Sandbox() *sandbox.Sandbox { return d.sandbox }
+
+// Downloads exposes the persistent executable list.
+func (d *Detector) Downloads() *DownloadList { return d.downloads }
+
+// Alerts returns raised alerts.
+func (d *Detector) Alerts() []Alert {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]Alert(nil), d.alerts...)
+}
+
+// DocStateFor returns a copy of the state for an instrumentation key.
+func (d *Detector) DocStateFor(instrKey string) (DocState, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st, ok := d.docs[instrKey]
+	if !ok {
+		return DocState{}, false
+	}
+	return *st, true
+}
+
+// IsMalicious reports whether any alert names the given document.
+func (d *Detector) IsMalicious(docID string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, a := range d.alerts {
+		if a.DocID == docID {
+			return true
+		}
+	}
+	return false
+}
+
+// ForgetDoc drops the volatile per-document state (malscore is volatile:
+// it no longer exists once the reader closes, §III-E).
+func (d *Detector) ForgetDoc(instrKey string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.docs, instrKey)
+	if d.activeKey == instrKey {
+		d.activeKey = ""
+	}
+}
+
+// ---- SOAP context notifications ----
+
+func (d *Detector) handleNotify(n soapsrv.Notify, remote string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	rec, err := d.cfg.Registry.Validate(n.Key)
+	if err != nil {
+		// Zero tolerance to fake messages: tag the active document as
+		// malicious (PDF readers are single-threaded, so the active
+		// document is the one responsible).
+		d.fakeMessageLocked(n, err)
+		return fmt.Errorf("fake message: %v", err)
+	}
+	k, _ := instrument.ParseKey(n.Key)
+	st := d.docStateLocked(k.InstrKey, rec)
+
+	switch n.Event {
+	case soapsrv.EventEnter:
+		d.activeKey = k.InstrKey
+		st.InContext = true
+		st.EnterMemMB = d.lastMemMB
+		st.PeakMemMB = d.lastMemMB
+	case soapsrv.EventExit:
+		if d.activeKey == k.InstrKey {
+			d.activeKey = ""
+		}
+		st.InContext = false
+		d.updateMemoryFeatureLocked(st, d.lastMemMB)
+		d.evaluateLocked(st)
+	}
+	return nil
+}
+
+func (d *Detector) fakeMessageLocked(n soapsrv.Notify, cause error) {
+	// Prefer the active document; otherwise, if the claimed key is known,
+	// blame that document.
+	var st *DocState
+	if d.activeKey != "" {
+		st = d.docs[d.activeKey]
+	}
+	if st == nil {
+		if k, err := instrument.ParseKey(n.Key); err == nil {
+			if rec, ok := d.cfg.Registry.LookupKey(k.InstrKey); ok {
+				st = d.docStateLocked(k.InstrKey, rec)
+			}
+		}
+	}
+	if st == nil {
+		// No attributable document; record a detector-level alert.
+		d.alerts = append(d.alerts, Alert{
+			DocID:  "<unknown>",
+			Reason: "fake-message: " + cause.Error(),
+		})
+		return
+	}
+	st.Ops = append(st.Ops, "fake-message: "+cause.Error())
+	d.raiseAlertLocked(st, "fake-message")
+}
+
+func (d *Detector) docStateLocked(instrKey string, rec instrument.DocRecord) *DocState {
+	st, ok := d.docs[instrKey]
+	if !ok {
+		st = &DocState{InstrKey: instrKey, DocID: rec.DocID}
+		for i, b := range rec.StaticVector {
+			st.Features[i] = b
+		}
+		d.docs[instrKey] = st
+	}
+	return st
+}
+
+// ---- hook events ----
+
+func (d *Detector) handleEvent(ev hook.Event) hook.Decision {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+
+	d.lastMemMB = ev.MemMB
+	active := d.activeDocLocked()
+	if active != nil && active.InContext {
+		if ev.MemMB > active.PeakMemMB {
+			active.PeakMemMB = ev.MemMB
+		}
+	}
+
+	switch ev.Behavior() {
+	case hook.BehaviorMemorySample:
+		if active != nil && active.InContext {
+			d.updateMemoryFeatureLocked(active, ev.MemMB)
+			d.evaluateLocked(active)
+		}
+		return hook.Decision{Action: hook.ActionAllow}
+	case hook.BehaviorMalwareDropping:
+		return d.onDropLocked(ev, active)
+	case hook.BehaviorNetworkAccess:
+		return d.onNetworkLocked(ev, active)
+	case hook.BehaviorMappedMemorySearch:
+		return d.onMemSearchLocked(ev, active)
+	case hook.BehaviorProcessCreation:
+		return d.onProcessLocked(ev, active)
+	case hook.BehaviorDLLInjection:
+		return d.onInjectLocked(ev, active)
+	default:
+		return hook.Decision{Action: hook.ActionAllow}
+	}
+}
+
+func (d *Detector) activeDocLocked() *DocState {
+	if d.activeKey == "" {
+		return nil
+	}
+	return d.docs[d.activeKey]
+}
+
+func (d *Detector) updateMemoryFeatureLocked(st *DocState, curMemMB float64) {
+	if curMemMB > st.PeakMemMB {
+		st.PeakMemMB = curMemMB
+	}
+	if st.PeakMemMB-st.EnterMemMB >= d.cfg.MemoryThresholdMB {
+		if st.Features[FMemory] == 0 {
+			st.Ops = append(st.Ops, fmt.Sprintf("injs-memory: +%.0f MB", st.PeakMemMB-st.EnterMemMB))
+		}
+		st.Features[FMemory] = 1
+		st.Armed = true
+	}
+}
+
+// onDropLocked: Table III — before alert, the hook calls the original API
+// (allow); the detector maintains the downloaded-executables list; on
+// alert, isolate.
+func (d *Detector) onDropLocked(ev hook.Event, active *DocState) hook.Decision {
+	path := ev.Arg(0)
+	if strings.HasPrefix(ev.API, "URLDownloadTo") {
+		path = ev.Arg(1)
+	}
+	if active != nil && active.InContext {
+		d.markLocked(active, FDropping, "injs-drop: "+path)
+		active.DroppedFiles = append(active.DroppedFiles, path)
+		if winos.IsExecutablePath(path) {
+			_ = d.downloads.Add(DownloadEntry{Path: path, DocID: active.DocID, Key: active.InstrKey})
+		}
+		if active.Alerted {
+			return hook.Decision{Action: hook.ActionReject, Note: "post-alert: drop blocked"}
+		}
+		d.evaluateLocked(active)
+		if active.Alerted {
+			// This very drop tipped the malscore; block it so the file
+			// never lands (earlier drops are quarantined by the alert).
+			return hook.Decision{Action: hook.ActionReject, Note: "alert raised: drop blocked"}
+		}
+		return hook.Decision{Action: hook.ActionAllow, Note: "drop tracked"}
+	}
+	// Out-of-JS file writes are ordinary reader behaviour (caches, prefs)
+	// and are not a monitored out-JS feature (Table II).
+	return hook.Decision{Action: hook.ActionAllow}
+}
+
+// isOwnEndpoint whitelists communications between the runtime detector and
+// the context monitoring code (§III-D).
+func (d *Detector) isOwnEndpoint(hostport string) bool {
+	if hostport == "" {
+		return false
+	}
+	return hostport == d.soap.Addr() || hostport == d.hooks.Addr()
+}
+
+func (d *Detector) onNetworkLocked(ev hook.Event, active *DocState) hook.Decision {
+	host := ev.Arg(0)
+	if d.isOwnEndpoint(host) {
+		return hook.Decision{Action: hook.ActionAllow, Note: "detector channel whitelisted"}
+	}
+	if active != nil && active.InContext {
+		d.markLocked(active, FNetwork, fmt.Sprintf("injs-network: %s(%s)", ev.API, host))
+		if active.Alerted {
+			return hook.Decision{Action: hook.ActionReject, Note: "post-alert: network blocked"}
+		}
+		d.evaluateLocked(active)
+	}
+	// Network access is monitored but not confined (Table III lists only
+	// dropping, process creation and DLL injection).
+	return hook.Decision{Action: hook.ActionAllow}
+}
+
+func (d *Detector) onMemSearchLocked(ev hook.Event, active *DocState) hook.Decision {
+	if active != nil && active.InContext {
+		d.markLocked(active, FMemSearch, "injs-mem-search: "+ev.API)
+		d.evaluateLocked(active)
+	}
+	return hook.Decision{Action: hook.ActionAllow}
+}
+
+func (d *Detector) onProcessLocked(ev hook.Event, active *DocState) hook.Decision {
+	path := ev.Arg(0)
+	if whitelistedProcess(path) {
+		return hook.Decision{Action: hook.ActionAllow, Note: "whitelisted helper"}
+	}
+	inJS := active != nil && active.InContext
+	if inJS {
+		d.markLocked(active, FProcCreate, "injs-process: "+path)
+		// Multi-PDF cooperation: executing a file another document
+		// downloaded in JS context links both documents (§III-E).
+		if entry, ok := d.downloads.Lookup(path); ok && entry.Key != active.InstrKey {
+			d.markLocked(active, FDropping, "injs-drop (imputed via downloads list): "+path)
+			if other, exists := d.docs[entry.Key]; exists {
+				d.markLocked(other, FProcCreate, "injs-process (imputed: its download executed): "+path)
+				d.evaluateLocked(other)
+			}
+		}
+	} else {
+		// Out-JS process creation counts for every armed document.
+		for _, st := range d.docs {
+			if st.Armed {
+				d.markOutJSLocked(st, FOutJSProc, "outjs-process: "+path)
+				d.evaluateLocked(st)
+			}
+		}
+	}
+	// Table III: the hook rejects the original call; the detector runs the
+	// target inside the sandbox (pre-alert).
+	owner := active
+	if owner == nil {
+		owner = d.someArmedDocLocked()
+	}
+	if owner != nil && owner.Alerted {
+		return hook.Decision{Action: hook.ActionReject, Note: "post-alert: process creation blocked"}
+	}
+	pid := d.sandbox.Run(path, ev.PID)
+	if owner != nil {
+		owner.SandboxPIDs = append(owner.SandboxPIDs, pid)
+		d.evaluateLocked(owner)
+	}
+	return hook.Decision{Action: hook.ActionSandbox, Note: fmt.Sprintf("running in sandbox as pid %d", pid)}
+}
+
+func (d *Detector) someArmedDocLocked() *DocState {
+	for _, st := range d.docs {
+		if st.Armed {
+			return st
+		}
+	}
+	return nil
+}
+
+func (d *Detector) onInjectLocked(ev hook.Event, active *DocState) hook.Decision {
+	dll := ev.Arg(0)
+	if active != nil && active.InContext {
+		d.markLocked(active, FDLLInject, "injs-dll-inject: "+dll)
+		active.InjectedDLLs = append(active.InjectedDLLs, dll)
+		d.evaluateLocked(active)
+	} else {
+		for _, st := range d.docs {
+			if st.Armed {
+				d.markOutJSLocked(st, FOutJSInject, "outjs-dll-inject: "+dll)
+				st.InjectedDLLs = append(st.InjectedDLLs, dll)
+				d.evaluateLocked(st)
+			}
+		}
+	}
+	// Table III: always reject; isolate the DLL.
+	if d.cfg.OS.FileExists(dll) {
+		d.cfg.OS.Quarantine(dll, "dll-injection rejected")
+	}
+	return hook.Decision{Action: hook.ActionReject, Note: "dll injection always rejected"}
+}
+
+// markLocked sets a JS-context feature and arms the document.
+func (d *Detector) markLocked(st *DocState, feature int, op string) {
+	if st.Features[feature] == 0 {
+		st.Ops = append(st.Ops, op)
+	}
+	st.Features[feature] = 1
+	if feature >= FMemory {
+		st.Armed = true
+	}
+}
+
+// markOutJSLocked sets an out-of-JS feature (only on armed documents).
+func (d *Detector) markOutJSLocked(st *DocState, feature int, op string) {
+	if st.Features[feature] == 0 {
+		st.Ops = append(st.Ops, op)
+	}
+	st.Features[feature] = 1
+}
+
+// evaluateLocked recomputes the malscore and raises an alert when it
+// crosses the threshold.
+func (d *Detector) evaluateLocked(st *DocState) {
+	if st.Alerted || !st.Armed {
+		return
+	}
+	score := st.Features.Malscore(d.cfg.W1, d.cfg.W2)
+	if score >= d.cfg.Threshold {
+		d.raiseAlertLocked(st, "malscore")
+	}
+}
+
+// raiseAlertLocked executes the on-alert confinement of Table III and
+// records the alert.
+func (d *Detector) raiseAlertLocked(st *DocState, reason string) {
+	if st.Alerted {
+		return
+	}
+	st.Alerted = true
+
+	alert := Alert{
+		DocID:    st.DocID,
+		InstrKey: st.InstrKey,
+		Malscore: st.Features.Malscore(d.cfg.W1, d.cfg.W2),
+		Features: st.Features,
+		Reason:   reason,
+		Ops:      append([]string(nil), st.Ops...),
+	}
+	// Isolate dropped files.
+	for _, f := range st.DroppedFiles {
+		if d.cfg.OS.Quarantine(f, "alert: dropped by "+st.DocID) {
+			alert.IsolatedFiles = append(alert.IsolatedFiles, f)
+		}
+	}
+	// Terminate sandboxed processes and isolate their executables.
+	for _, pid := range st.SandboxPIDs {
+		if path, ok := d.sandbox.PathOf(pid); ok {
+			if d.sandbox.Terminate(pid) {
+				alert.TerminatedPIDs = append(alert.TerminatedPIDs, pid)
+			}
+			if d.cfg.OS.Quarantine(path, "alert: executed by "+st.DocID) {
+				alert.IsolatedFiles = append(alert.IsolatedFiles, path)
+			}
+		}
+	}
+	// Isolate injected DLLs.
+	for _, dll := range st.InjectedDLLs {
+		if d.cfg.OS.Quarantine(dll, "alert: injected by "+st.DocID) {
+			alert.IsolatedFiles = append(alert.IsolatedFiles, dll)
+		}
+	}
+	d.alerts = append(d.alerts, alert)
+}

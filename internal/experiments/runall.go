@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Experiment pairs an id with its runner.
+type Experiment struct {
+	ID  string
+	Run func(cfg Config) Result
+}
+
+// All returns every experiment in paper order. Table IX consumes Table
+// VIII's accuracy, so RunAll wires them together; the standalone entry here
+// re-runs Table VIII internally when invoked alone.
+func All() []Experiment {
+	return []Experiment{
+		{"table-v", TableV},
+		{"figure-6", Figure6},
+		{"table-vi", TableVI},
+		{"figure-7", Figure7},
+		{"figure-8", Figure8},
+		{"table-vii", TableVII},
+		{"table-viii", func(cfg Config) Result { r, _ := TableVIII(cfg); return r }},
+		{"table-ix", func(cfg Config) Result {
+			_, acc := TableVIII(cfg)
+			return TableIX(cfg, acc)
+		}},
+		{"table-x", TableX},
+		{"table-xi", TableXI},
+		{"runtime-overhead", RuntimeOverhead},
+		{"security-analysis", SecurityAnalysis},
+		{"ablation-features", AblationFeatures},
+		{"ablation-context-memory", AblationContextMemory},
+	}
+}
+
+// RunAll executes every experiment, streaming rendered output to w, and
+// returns all results keyed by id.
+func RunAll(cfg Config, w io.Writer) map[string]Result {
+	out := make(map[string]Result)
+	var acc Accuracy
+	haveAcc := false
+	for _, exp := range All() {
+		start := time.Now()
+		var res Result
+		switch exp.ID {
+		case "table-viii":
+			res, acc = TableVIII(cfg)
+			haveAcc = true
+		case "table-ix":
+			if !haveAcc {
+				_, acc = TableVIII(cfg)
+			}
+			res = TableIX(cfg, acc)
+		default:
+			res = exp.Run(cfg)
+		}
+		out[exp.ID] = res
+		if w != nil {
+			fmt.Fprintf(w, "%s\n[%s finished in %.1fs]\n\n", res.Render(), exp.ID, time.Since(start).Seconds())
+		}
+	}
+	return out
+}

@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"pdfshield/internal/corpus"
+	"pdfshield/internal/instrument"
+)
+
+// TableV regenerates the dataset summary (Table V), generating the corpus
+// at the configured scale.
+func TableV(cfg Config) Result {
+	g := corpus.NewGenerator(cfg.seed())
+	nBenign := cfg.scaled(18623, 200)
+	nMal := cfg.scaled(7370, 80)
+
+	benign := g.BenignBatch(nBenign)
+	malicious := g.MaliciousBatch(nMal)
+
+	benignBytes, benignJS := 0, 0
+	for _, s := range benign {
+		benignBytes += len(s.Raw)
+		if s.HasJS {
+			benignJS++
+		}
+	}
+	malBytes := 0
+	for _, s := range malicious {
+		malBytes += len(s.Raw)
+	}
+	mb := func(n int) string { return fmt.Sprintf("%.1f MB", float64(n)/(1<<20)) }
+
+	return Result{Tables: []Table{{
+		ID:      "Table V",
+		Title:   "Dataset Used for Evaluation (synthetic, scaled)",
+		Headers: []string{"Category", "# of Samples", "# with Javascript", "Size"},
+		Rows: [][]string{
+			{"Known Benign", itoa(len(benign)), itoa(benignJS), mb(benignBytes)},
+			{"Known Malicious", itoa(len(malicious)), itoa(len(malicious)), mb(malBytes)},
+			{"Total", itoa(len(benign) + len(malicious)), itoa(benignJS + len(malicious)), mb(benignBytes + malBytes)},
+		},
+		Notes: []string{
+			fmt.Sprintf("paper: 18623 benign (994 with JS, 11.84 GB), 7370 malicious (172 MB); scale=%.2f", cfg.scale()),
+		},
+	}}}
+}
+
+// Figure6 regenerates the CDF of the Javascript-chain object ratio for
+// benign and malicious documents.
+func Figure6(cfg Config) Result {
+	g := corpus.NewGenerator(cfg.seed() + 6)
+	nBenign := cfg.scaled(994, 60)
+	nMal := cfg.scaled(1000, 60)
+
+	benignRatios := ratiosOf(g.BenignWithJS(nBenign))
+	malRatios := ratiosOf(g.MaliciousBatch(nMal))
+
+	fig := Series{
+		ID:     "Figure 6",
+		Title:  "Ratio of PDF Objects on Javascript Chain (CDF)",
+		XLabel: "ratio",
+		YLabel: "CDF",
+		Lines: []Line{
+			cdfLine("malicious", malRatios),
+			cdfLine("benign", benignRatios),
+		},
+	}
+	fig.Notes = append(fig.Notes,
+		fmt.Sprintf("malicious with ratio >= 0.2: %.1f%% (paper ~95%%)", 100*fracAtLeast(malRatios, 0.2)),
+		fmt.Sprintf("benign with ratio < 0.2: %.1f%% (paper ~90%%)", 100*(1-fracAtLeast(benignRatios, 0.2))),
+		fmt.Sprintf("malicious with ratio == 1: %d (paper found 64)", countEq(malRatios, 1)),
+	)
+	return Result{Figures: []Series{fig}}
+}
+
+func ratiosOf(samples []corpus.Sample) []float64 {
+	out := make([]float64, 0, len(samples))
+	for _, s := range samples {
+		_, chains, _, err := instrument.Analyze(s.Raw)
+		if err != nil {
+			continue
+		}
+		out = append(out, chains.Ratio())
+	}
+	sort.Float64s(out)
+	return out
+}
+
+func cdfLine(name string, sorted []float64) Line {
+	line := Line{Name: name}
+	n := len(sorted)
+	for i, v := range sorted {
+		line.X = append(line.X, v)
+		line.Y = append(line.Y, float64(i+1)/float64(n))
+	}
+	return line
+}
+
+func fracAtLeast(sorted []float64, threshold float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	count := 0
+	for _, v := range sorted {
+		if v >= threshold {
+			count++
+		}
+	}
+	return float64(count) / float64(len(sorted))
+}
+
+func countEq(sorted []float64, v float64) int {
+	count := 0
+	for _, x := range sorted {
+		if x == v {
+			count++
+		}
+	}
+	return count
+}
+
+// TableVI regenerates the static feature statistics of malicious documents.
+func TableVI(cfg Config) Result {
+	g := corpus.NewGenerator(cfg.seed() + 66)
+	n := cfg.scaled(7370, 300)
+
+	headerObf := map[int]int{}
+	hexCode := map[int]int{}
+	emptyObjs := map[int]int{}
+	encLevels := map[int]int{}
+	for i := 0; i < n; i++ {
+		s := g.Malicious()
+		feats, _, _, err := instrument.Analyze(s.Raw)
+		if err != nil {
+			continue
+		}
+		headerObf[boolInt(feats.HeaderObfuscated)]++
+		hexCode[boolInt(feats.HexCodeCount > 0)]++
+		emptyObjs[feats.EmptyObjects]++
+		encLevels[feats.EncodingLevels]++
+	}
+	row := func(name string, m map[int]int) []string {
+		cells := []string{name}
+		for _, v := range []int{0, 1, 2, 3, 6} {
+			cells = append(cells, itoa(m[v]))
+		}
+		return cells
+	}
+	return Result{Tables: []Table{{
+		ID:      "Table VI",
+		Title:   fmt.Sprintf("Statistics of Static Features of %d Malicious Documents", n),
+		Headers: []string{"Feature \\ Value", "0/False", "1/True", "2", "3", "6"},
+		Rows: [][]string{
+			row("Header Obfuscation", headerObf),
+			row("Hex Code", hexCode),
+			row("Empty Objects", emptyObjs),
+			row("Encoding Level", encLevels),
+		},
+		Notes: []string{
+			"paper (7370 samples): header obf 6792/578; hex 6827/543; empty objects 7357/5/4/3/1; encoding 233/7065/40/31/0",
+		},
+	}}}
+}
+
+func boolInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// TableVII renders the parameter configuration (constants of the system).
+func TableVII(cfg Config) Result {
+	return Result{Tables: []Table{{
+		ID:      "Table VII",
+		Title:   "Parameter Configurations",
+		Headers: []string{"Parameter", "Value"},
+		Rows: [][]string{
+			{"F1", fmt.Sprintf("if ratio >= %.1f, F1 = 1; else F1 = 0", instrument.RatioThreshold)},
+			{"F4", "if # of empty objects >= 1, F4 = 1; else F4 = 0"},
+			{"F5", fmt.Sprintf("if encoding level >= %d, F5 = 1; else F5 = 0", instrument.EncodingLevelThreshold)},
+			{"F8", "if mem consumption >= 100 MB, F8 = 1; else F8 = 0"},
+			{"w1", "1"},
+			{"w2", "9"},
+			{"Threshold", "10"},
+		},
+		Notes: []string{"identical to the paper's Table VII; enforced by internal/detect defaults"},
+	}}}
+}
+
+func itoa(n int) string { return fmt.Sprintf("%d", n) }

@@ -1,0 +1,222 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§V) on the synthetic corpus: feature validation (Figure 6,
+// Table VI, Figure 7, Figure 8), detection accuracy (Tables VII, VIII, IX)
+// and system performance (Tables X, XI, the §V-D2 runtime overhead), plus
+// the §IV security analysis.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Config tunes experiment scale.
+type Config struct {
+	// Scale multiplies the paper's sample counts (1.0 = 994 benign-with-JS
+	// and 1000 malicious in Table VIII). Default 0.1.
+	Scale float64
+	// Seed drives corpus generation and randomized instrumentation.
+	Seed int64
+}
+
+func (c Config) scale() float64 {
+	if c.Scale <= 0 {
+		return 0.1
+	}
+	return c.Scale
+}
+
+func (c Config) seed() int64 {
+	if c.Seed == 0 {
+		return 20140623 // DSN'14 week
+	}
+	return c.Seed
+}
+
+// scaled returns n scaled with a floor.
+func (c Config) scaled(n, floor int) int {
+	v := int(float64(n) * c.scale())
+	if v < floor {
+		return floor
+	}
+	return v
+}
+
+// Table is a regenerated paper table.
+type Table struct {
+	ID      string
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Render formats the table with aligned columns.
+func (t Table) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			if i < len(widths) {
+				sb.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// Line is one series of points.
+type Line struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Series is a regenerated paper figure.
+type Series struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Lines  []Line
+	Notes  []string
+}
+
+// Render formats the series as point tables plus an ASCII plot.
+func (s Series) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", s.ID, s.Title)
+	fmt.Fprintf(&sb, "x=%s, y=%s\n", s.XLabel, s.YLabel)
+	for _, line := range s.Lines {
+		fmt.Fprintf(&sb, "-- %s (%d points)\n", line.Name, len(line.X))
+		step := 1
+		if len(line.X) > 24 {
+			step = len(line.X) / 24
+		}
+		for i := 0; i < len(line.X); i += step {
+			fmt.Fprintf(&sb, "   %10.3f  %10.3f\n", line.X[i], line.Y[i])
+		}
+	}
+	sb.WriteString(asciiPlot(s))
+	for _, n := range s.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}
+
+const (
+	plotW = 64
+	plotH = 16
+)
+
+// asciiPlot draws a rough multi-line plot.
+func asciiPlot(s Series) string {
+	minX, maxX, minY, maxY := rangeOf(s)
+	if maxX <= minX || maxY <= minY {
+		return ""
+	}
+	grid := make([][]byte, plotH)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", plotW))
+	}
+	marks := []byte{'*', 'o', '+', 'x', '#', '@'}
+	for li, line := range s.Lines {
+		mark := marks[li%len(marks)]
+		for i := range line.X {
+			px := int((line.X[i] - minX) / (maxX - minX) * float64(plotW-1))
+			py := int((line.Y[i] - minY) / (maxY - minY) * float64(plotH-1))
+			row := plotH - 1 - py
+			if row >= 0 && row < plotH && px >= 0 && px < plotW {
+				grid[row][px] = mark
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%10.1f +%s\n", maxY, strings.Repeat("-", plotW))
+	for _, row := range grid {
+		fmt.Fprintf(&sb, "%10s |%s\n", "", string(row))
+	}
+	fmt.Fprintf(&sb, "%10.1f +%s\n", minY, strings.Repeat("-", plotW))
+	fmt.Fprintf(&sb, "%10s  %-10.1f%s%10.1f\n", "", minX, strings.Repeat(" ", plotW-20), maxX)
+	legend := make([]string, 0, len(s.Lines))
+	for li, line := range s.Lines {
+		legend = append(legend, fmt.Sprintf("%c=%s", marks[li%len(marks)], line.Name))
+	}
+	sb.WriteString("           " + strings.Join(legend, "  ") + "\n")
+	return sb.String()
+}
+
+func rangeOf(s Series) (minX, maxX, minY, maxY float64) {
+	first := true
+	for _, line := range s.Lines {
+		for i := range line.X {
+			if first {
+				minX, maxX, minY, maxY = line.X[i], line.X[i], line.Y[i], line.Y[i]
+				first = false
+				continue
+			}
+			if line.X[i] < minX {
+				minX = line.X[i]
+			}
+			if line.X[i] > maxX {
+				maxX = line.X[i]
+			}
+			if line.Y[i] < minY {
+				minY = line.Y[i]
+			}
+			if line.Y[i] > maxY {
+				maxY = line.Y[i]
+			}
+		}
+	}
+	return minX, maxX, minY, maxY
+}
+
+// Result is the output of one experiment: a table, a figure, or both.
+type Result struct {
+	Tables  []Table
+	Figures []Series
+}
+
+// Render formats everything.
+func (r Result) Render() string {
+	var sb strings.Builder
+	for _, t := range r.Tables {
+		sb.WriteString(t.Render())
+		sb.WriteByte('\n')
+	}
+	for _, f := range r.Figures {
+		sb.WriteString(f.Render())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

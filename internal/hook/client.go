@@ -1,0 +1,119 @@
+package hook
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Sink receives captured API calls and returns confinement decisions. The
+// reader process talks to a Sink; TCPClient is the production
+// implementation, and tests may use in-process fakes.
+type Sink interface {
+	// OnAPICall reports one call synchronously.
+	OnAPICall(ev Event) (Decision, error)
+	// Close releases the channel.
+	Close() error
+}
+
+// TCPClient streams events to the detector over a TCP connection, one JSON
+// line per event, reading one JSON decision line back. This mirrors the
+// hook DLL's socket in §III-E ("When the hook DLL is injected, its first
+// job is to set up a TCP connection to the runtime detector").
+type TCPClient struct {
+	mu   sync.Mutex
+	conn net.Conn
+	rd   *bufio.Reader
+	seq  int64
+}
+
+var _ Sink = (*TCPClient)(nil)
+
+// Dial connects to the detector's hook endpoint.
+func Dial(addr string) (*TCPClient, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("hook dial %s: %w", addr, err)
+	}
+	return &TCPClient{conn: conn, rd: bufio.NewReader(conn)}, nil
+}
+
+// OnAPICall implements Sink.
+func (c *TCPClient) OnAPICall(ev Event) (Decision, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	ev.Seq = c.seq
+	line, err := json.Marshal(ev)
+	if err != nil {
+		return Decision{}, fmt.Errorf("hook marshal: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := c.conn.Write(line); err != nil {
+		return Decision{}, fmt.Errorf("hook send: %w", err)
+	}
+	resp, err := c.rd.ReadBytes('\n')
+	if err != nil {
+		return Decision{}, fmt.Errorf("hook recv: %w", err)
+	}
+	var dec Decision
+	if err := json.Unmarshal(resp, &dec); err != nil {
+		return Decision{}, fmt.Errorf("hook decode: %w", err)
+	}
+	return dec, nil
+}
+
+// Close implements Sink.
+func (c *TCPClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// AllowAllSink is a Sink that approves everything and records nothing; it
+// models an unprotected machine (baseline runs, Figure 8 measurements).
+type AllowAllSink struct{}
+
+var _ Sink = AllowAllSink{}
+
+// OnAPICall implements Sink.
+func (AllowAllSink) OnAPICall(Event) (Decision, error) { return Decision{Action: ActionAllow}, nil }
+
+// Close implements Sink.
+func (AllowAllSink) Close() error { return nil }
+
+// RecordingSink captures events in memory and allows everything. Tests and
+// context-free baselines use it.
+type RecordingSink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+var _ Sink = (*RecordingSink)(nil)
+
+// OnAPICall implements Sink.
+func (s *RecordingSink) OnAPICall(ev Event) (Decision, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ev.Seq = int64(len(s.events) + 1)
+	s.events = append(s.events, ev)
+	return Decision{Action: ActionAllow}, nil
+}
+
+// Close implements Sink.
+func (s *RecordingSink) Close() error { return nil }
+
+// Events returns a copy of captured events.
+func (s *RecordingSink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.events...)
+}

@@ -1,0 +1,120 @@
+package hook
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestClassify(t *testing.T) {
+	tests := []struct {
+		api  string
+		want Behavior
+	}{
+		{"NtCreateFile", BehaviorMalwareDropping},
+		{"URLDownloadToFileA", BehaviorMalwareDropping},
+		{"connect", BehaviorNetworkAccess},
+		{"listen", BehaviorNetworkAccess},
+		{"IsBadReadPtr", BehaviorMappedMemorySearch},
+		{"NtAddAtom", BehaviorMappedMemorySearch},
+		{"NtCreateProcess", BehaviorProcessCreation},
+		{"NtCreateUserProcess", BehaviorProcessCreation},
+		{"CreateRemoteThread", BehaviorDLLInjection},
+		{"ctx.mem", BehaviorMemorySample},
+		{"GetSystemTime", BehaviorUnknown},
+	}
+	for _, tt := range tests {
+		if got := Classify(tt.api); got != tt.want {
+			t.Errorf("Classify(%q) = %q, want %q", tt.api, got, tt.want)
+		}
+	}
+	if len(MonitoredAPIs()) < 10 {
+		t.Errorf("monitored API set too small: %d", len(MonitoredAPIs()))
+	}
+}
+
+func TestTCPClientServerRoundTrip(t *testing.T) {
+	var mu sync.Mutex
+	var got []Event
+	srv := NewServer(func(ev Event) Decision {
+		mu.Lock()
+		defer mu.Unlock()
+		got = append(got, ev)
+		if ev.Behavior() == BehaviorDLLInjection {
+			return Decision{Action: ActionReject, Note: "always reject"}
+		}
+		if ev.Behavior() == BehaviorProcessCreation {
+			return Decision{Action: ActionSandbox}
+		}
+		return Decision{Action: ActionAllow}
+	})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+
+	client, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = client.Close() }()
+
+	dec, err := client.OnAPICall(Event{PID: 1, API: "NtCreateFile", Args: []string{`C:\tmp\mal.exe`}, MemMB: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Action != ActionAllow {
+		t.Errorf("drop decision = %q", dec.Action)
+	}
+	dec, err = client.OnAPICall(Event{PID: 1, API: "CreateRemoteThread", Args: []string{"evil.dll"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Action != ActionReject {
+		t.Errorf("inject decision = %q", dec.Action)
+	}
+	dec, err = client.OnAPICall(Event{PID: 1, API: "NtCreateProcess", Args: []string{`C:\tmp\mal.exe`}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Action != ActionSandbox {
+		t.Errorf("proc decision = %q", dec.Action)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 3 {
+		t.Fatalf("server saw %d events", len(got))
+	}
+	if got[0].Seq != 1 || got[1].Seq != 2 || got[2].Seq != 3 {
+		t.Errorf("sequence numbers wrong: %+v", got)
+	}
+	if got[0].Arg(0) != `C:\tmp\mal.exe` {
+		t.Errorf("arg lost: %+v", got[0])
+	}
+}
+
+func TestRecordingSink(t *testing.T) {
+	s := &RecordingSink{}
+	for i := 0; i < 3; i++ {
+		dec, err := s.OnAPICall(Event{API: "connect"})
+		if err != nil || dec.Action != ActionAllow {
+			t.Fatalf("decision = %+v err=%v", dec, err)
+		}
+	}
+	if len(s.Events()) != 3 {
+		t.Errorf("events = %d", len(s.Events()))
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Error("expected dial failure")
+	}
+}
+
+func TestEventArgHelper(t *testing.T) {
+	ev := Event{Args: []string{"a"}}
+	if ev.Arg(0) != "a" || ev.Arg(1) != "" {
+		t.Error("Arg helper broken")
+	}
+}

@@ -1,0 +1,167 @@
+package instrument
+
+import (
+	"errors"
+	"testing"
+
+	"pdfshield/internal/pdf"
+)
+
+// buildHostWithEmbedded wraps innerRaw as an /EmbeddedFile attachment in a
+// scriptless host.
+func buildHostWithEmbedded(t *testing.T, innerRaw []byte) []byte {
+	t.Helper()
+	d := pdf.NewDocument()
+	raw, filterObj, err := pdf.EncodeChain([]pdf.Name{pdf.FilterFlate}, innerRaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Add(&pdf.Stream{Dict: pdf.Dict{"Type": pdf.Name("EmbeddedFile"), "Filter": filterObj}, Raw: raw})
+	page := d.Add(pdf.Dict{"Type": pdf.Name("Page")})
+	pages := d.Add(pdf.Dict{"Type": pdf.Name("Pages"), "Kids": pdf.Array{page}})
+	d.Trailer["Root"] = d.Add(pdf.Dict{"Type": pdf.Name("Catalog"), "Pages": pages})
+	out, err := pdf.Write(d, pdf.WriteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// buildInnerJSDoc builds a small JS-bearing document.
+func buildInnerJSDoc(t *testing.T, script string) []byte {
+	t.Helper()
+	d := pdf.NewDocument()
+	jsRef := d.Add(pdf.String{Value: []byte(script)})
+	action := d.Add(pdf.Dict{"S": pdf.Name("JavaScript"), "JS": jsRef})
+	d.Trailer["Root"] = d.Add(pdf.Dict{"Type": pdf.Name("Catalog"), "OpenAction": action})
+	raw, err := pdf.Write(d, pdf.WriteOptions{HeaderJunk: []byte("junk!")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func TestExtractEmbeddedPDFs(t *testing.T) {
+	inner := buildInnerJSDoc(t, "1;")
+	host := buildHostWithEmbedded(t, inner)
+	doc, err := pdf.Parse(host, pdf.ParseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := ExtractEmbeddedPDFs(doc)
+	if len(found) != 1 {
+		t.Fatalf("embedded found = %d", len(found))
+	}
+	if string(found[0].Raw[:20]) != string(inner[:20]) {
+		t.Error("embedded bytes corrupted")
+	}
+	// Non-PDF attachments are ignored.
+	doc2 := pdf.NewDocument()
+	doc2.Add(&pdf.Stream{Dict: pdf.Dict{"Type": pdf.Name("EmbeddedFile")}, Raw: []byte("plain text attachment")})
+	doc2.Trailer["Root"] = doc2.Add(pdf.Dict{"Type": pdf.Name("Catalog")})
+	if got := ExtractEmbeddedPDFs(doc2); len(got) != 0 {
+		t.Errorf("non-PDF attachment extracted: %d", len(got))
+	}
+}
+
+func TestAnalyzeDeepMergesEmbeddedFeatures(t *testing.T) {
+	inner := buildInnerJSDoc(t, "spray();") // obfuscated header, JS, high ratio
+	host := buildHostWithEmbedded(t, inner)
+
+	hostOnly, _, _, err := Analyze(host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hostOnly.HasJavaScript || hostOnly.HeaderObfuscated {
+		t.Fatalf("host-only analysis should be clean: %s", hostOnly)
+	}
+
+	merged, embedded, err := AnalyzeDeep(host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(embedded) != 1 {
+		t.Fatalf("embedded features = %d", len(embedded))
+	}
+	if !merged.HasJavaScript {
+		t.Error("merged analysis lost embedded JS")
+	}
+	if !merged.HeaderObfuscated {
+		t.Error("merged analysis lost embedded header obfuscation")
+	}
+	if merged.Ratio < 0.5 {
+		t.Errorf("merged ratio = %v", merged.Ratio)
+	}
+}
+
+func TestInstrumentEmbeddedPDF(t *testing.T) {
+	inner := buildInnerJSDoc(t, "attachmentRan = 5;")
+	host := buildHostWithEmbedded(t, inner)
+
+	reg := NewRegistry("embdetector0001")
+	ins := New(reg, Options{Seed: 31})
+	res, err := ins.InstrumentBytes("host.pdf", host)
+	if err != nil {
+		t.Fatalf("host with JS-bearing attachment must not be out of scope: %v", err)
+	}
+	if len(res.Embedded) != 1 {
+		t.Fatalf("embedded results = %d", len(res.Embedded))
+	}
+	emb := res.Embedded[0]
+	if emb.DocID != EmbeddedDocID("host.pdf", 0) {
+		t.Errorf("embedded doc id = %q", emb.DocID)
+	}
+	if emb.ScriptsInstrumented != 1 {
+		t.Errorf("embedded scripts = %d", emb.ScriptsInstrumented)
+	}
+	// Registry knows the embedded document under its own key.
+	if _, ok := reg.LookupKey(emb.Key.InstrKey); !ok {
+		t.Error("embedded key not registered")
+	}
+	// The emitted host carries the INSTRUMENTED attachment.
+	outDoc, err := pdf.Parse(res.Output, pdf.ParseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	extracted := ExtractEmbeddedPDFs(outDoc)
+	if len(extracted) != 1 {
+		t.Fatalf("instrumented host lost its attachment")
+	}
+	innerDoc, err := pdf.Parse(extracted[0].Raw, pdf.ParseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chains, err := pdf.ReconstructChains(innerDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chains.Chains) != 1 {
+		t.Fatal("attachment chain lost")
+	}
+	if chains.Chains[0].Source == "attachmentRan = 5;" {
+		t.Error("attachment script not instrumented")
+	}
+}
+
+func TestScriptlessHostScriptlessAttachment(t *testing.T) {
+	// A plain text host with a scriptless PDF attachment stays out of
+	// scope.
+	plainInner := func() []byte {
+		d := pdf.NewDocument()
+		page := d.Add(pdf.Dict{"Type": pdf.Name("Page")})
+		pages := d.Add(pdf.Dict{"Type": pdf.Name("Pages"), "Kids": pdf.Array{page}})
+		d.Trailer["Root"] = d.Add(pdf.Dict{"Type": pdf.Name("Catalog"), "Pages": pages})
+		raw, err := pdf.Write(d, pdf.WriteOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}()
+	host := buildHostWithEmbedded(t, plainInner)
+	reg := NewRegistry("embdetector0002")
+	ins := New(reg, Options{Seed: 32})
+	_, err := ins.InstrumentBytes("host2.pdf", host)
+	if !errors.Is(err, ErrNoJavaScript) {
+		t.Errorf("want ErrNoJavaScript, got %v", err)
+	}
+}

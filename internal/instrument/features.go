@@ -1,0 +1,90 @@
+// Package instrument implements the front-end of the system: static
+// analysis of PDF documents (the paper's five novel static features F1-F5),
+// reconstruction of Javascript chains, and static document instrumentation —
+// wrapping every triggered script in encrypted, randomized context
+// monitoring code that reports Javascript context transitions to the
+// runtime detector over SOAP.
+package instrument
+
+import (
+	"fmt"
+
+	"pdfshield/internal/pdf"
+)
+
+// Thresholds from Table VII of the paper.
+const (
+	// RatioThreshold is the F1 cutoff: JS-chain object ratio >= 0.2.
+	RatioThreshold = 0.2
+	// EncodingLevelThreshold is the F5 cutoff: >= 2 levels of encoding.
+	EncodingLevelThreshold = 2
+)
+
+// StaticFeatures holds the five static features (F1-F5) extracted during
+// parsing and decompression.
+type StaticFeatures struct {
+	// Ratio is F1: PDF objects on Javascript chains / total objects.
+	Ratio float64
+	// HeaderObfuscated is F2: header missing, displaced, or invalid.
+	HeaderObfuscated bool
+	// HexCodeCount is F3: names written with #xx escapes (the
+	// /JavaScr#69pt trick). The binary feature is HexCodeCount > 0.
+	HexCodeCount int
+	// EmptyObjects is F4: count of empty indirect objects.
+	EmptyObjects int
+	// EncodingLevels is F5: the deepest filter chain on a Javascript chain.
+	EncodingLevels int
+	// HasJavaScript reports whether any Javascript chain exists; documents
+	// without Javascript are out of the detector's scope.
+	HasJavaScript bool
+}
+
+// Vector returns the normalized binary feature vector [F1..F5] following
+// the Table VII rules.
+func (f StaticFeatures) Vector() [5]int {
+	var v [5]int
+	if f.Ratio >= RatioThreshold {
+		v[0] = 1
+	}
+	if f.HeaderObfuscated {
+		v[1] = 1
+	}
+	if f.HexCodeCount > 0 {
+		v[2] = 1
+	}
+	if f.EmptyObjects >= 1 {
+		v[3] = 1
+	}
+	if f.EncodingLevels >= EncodingLevelThreshold {
+		v[4] = 1
+	}
+	return v
+}
+
+// Sum returns the number of positive static features.
+func (f StaticFeatures) Sum() int {
+	total := 0
+	for _, b := range f.Vector() {
+		total += b
+	}
+	return total
+}
+
+// String renders the features compactly for reports.
+func (f StaticFeatures) String() string {
+	return fmt.Sprintf("ratio=%.3f headerObf=%v hexNames=%d emptyObjs=%d encLevels=%d js=%v",
+		f.Ratio, f.HeaderObfuscated, f.HexCodeCount, f.EmptyObjects, f.EncodingLevels, f.HasJavaScript)
+}
+
+// ExtractFeatures computes the static features of a parsed document given
+// its reconstructed chain set.
+func ExtractFeatures(doc *pdf.Document, chains pdf.ChainSet) StaticFeatures {
+	return StaticFeatures{
+		Ratio:            chains.Ratio(),
+		HeaderObfuscated: doc.Header.Obfuscated(),
+		HexCodeCount:     doc.HexNameCount,
+		EmptyObjects:     doc.CountEmptyObjects(),
+		EncodingLevels:   chains.MaxEncodingLevels(),
+		HasJavaScript:    chains.HasJavaScript(),
+	}
+}

@@ -1,0 +1,401 @@
+package instrument
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"pdfshield/internal/pdf"
+)
+
+// DefaultEndpoint is the SOAP URL compiled into monitoring code when the
+// caller does not override it; the reader's SOAP bridge routes requests for
+// it to the live detector.
+const DefaultEndpoint = "http://127.0.0.1:8217/ctx"
+
+// Options configures an Instrumenter.
+type Options struct {
+	// Endpoint is the detector SOAP URL embedded in monitoring code.
+	Endpoint string
+	// Seed seeds the randomization RNG; 0 derives a seed from crypto/rand
+	// via the registry's detector id, keeping runs reproducible only when
+	// explicitly requested.
+	Seed int64
+}
+
+// ErrNoJavaScript is returned when a document has nothing to instrument.
+// Callers typically treat this as "benign by scope" rather than a failure.
+var ErrNoJavaScript = errors.New("document contains no javascript")
+
+// Instrumenter is the front-end component: it statically analyzes
+// documents, extracts features, and inserts context monitoring code.
+type Instrumenter struct {
+	registry *Registry
+	endpoint string
+	rng      *rand.Rand
+}
+
+// New returns an Instrumenter bound to a key registry.
+func New(registry *Registry, opts Options) *Instrumenter {
+	endpoint := opts.Endpoint
+	if endpoint == "" {
+		endpoint = DefaultEndpoint
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	return &Instrumenter{
+		registry: registry,
+		endpoint: endpoint,
+		//nolint:gosec // randomization of code layout, not cryptography; the
+		// protection key material comes from crypto/rand in key.go.
+		rng: rand.New(rand.NewSource(seed)),
+	}
+}
+
+// PhaseTiming records per-phase durations (Table X's columns).
+type PhaseTiming struct {
+	ParseDecompress   time.Duration
+	FeatureExtraction time.Duration
+	Instrumentation   time.Duration
+}
+
+// Total sums the phases.
+func (t PhaseTiming) Total() time.Duration {
+	return t.ParseDecompress + t.FeatureExtraction + t.Instrumentation
+}
+
+// SpecEntry records one script replacement so it can be undone.
+type SpecEntry struct {
+	Location pdf.ScriptLocation `json:"location"`
+	// Original is the pre-instrumentation script source.
+	Original string `json:"original"`
+	// Filters is the original stream filter chain (nil for string values).
+	Filters []pdf.Name `json:"filters,omitempty"`
+	// Cleared reports this entry was a sequential (/Next) script whose body
+	// was folded into the first script of the sequence.
+	Cleared bool `json:"cleared"`
+}
+
+// DeinstrumentSpec is exported alongside an instrumented document; applying
+// it restores the original scripts (§III-F).
+type DeinstrumentSpec struct {
+	DocID    string      `json:"doc_id"`
+	InstrKey string      `json:"instr_key"`
+	Entries  []SpecEntry `json:"entries"`
+}
+
+// Result is the outcome of instrumenting one document.
+type Result struct {
+	DocID string
+	// Key is the full protection key for this document.
+	Key Key
+	// Features are the five static features extracted during analysis.
+	Features StaticFeatures
+	// Chains is the reconstructed chain set.
+	Chains pdf.ChainSet
+	// Output is the serialized instrumented document.
+	Output []byte
+	// Doc is the instrumented in-memory document (shares no state with
+	// Output; reparse Output for byte-exact work).
+	Doc *pdf.Document
+	// Spec allows later de-instrumentation.
+	Spec DeinstrumentSpec
+	// ScriptsInstrumented counts monitoring-code insertions (sequential
+	// chains count once).
+	ScriptsInstrumented int
+	// StagedRewrites counts nested code-string parameters wrapped for the
+	// staged/delayed attack defenses.
+	StagedRewrites int
+	// ObjectCount is the number of indirect objects parsed.
+	ObjectCount int
+	// Timing holds per-phase durations.
+	Timing PhaseTiming
+	// OwnerPasswordRemoved reports that view-only encryption was stripped.
+	OwnerPasswordRemoved bool
+	// Embedded holds the instrumentation results of embedded PDF
+	// documents (§VI extension); each has its own protection key.
+	Embedded []*Result
+}
+
+// ContentHash computes the registry identity of raw document bytes.
+func ContentHash(raw []byte) string {
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:])
+}
+
+// Analyze parses raw bytes and extracts static features without modifying
+// the document. Used for feature studies (Figure 6, Table VI) and by
+// baseline detectors.
+func Analyze(raw []byte) (StaticFeatures, pdf.ChainSet, *pdf.Document, error) {
+	doc, err := pdf.Parse(raw, pdf.ParseOptions{})
+	if err != nil {
+		return StaticFeatures{}, pdf.ChainSet{}, nil, err
+	}
+	if doc.IsEncrypted() {
+		if err := pdf.RemoveOwnerPassword(doc); err != nil {
+			return StaticFeatures{}, pdf.ChainSet{}, nil, err
+		}
+	}
+	chains, err := pdf.ReconstructChains(doc)
+	if err != nil {
+		return StaticFeatures{}, pdf.ChainSet{}, nil, err
+	}
+	return ExtractFeatures(doc, chains), chains, doc, nil
+}
+
+// InstrumentBytes runs the complete front-end pipeline over raw document
+// bytes: parse and decompress, extract static features, reconstruct
+// Javascript chains, insert context monitoring code into every triggered
+// chain, and recursively instrument embedded PDF documents. Documents with
+// no Javascript anywhere return ErrNoJavaScript.
+func (ins *Instrumenter) InstrumentBytes(docID string, raw []byte) (*Result, error) {
+	return ins.instrumentBytesDepth(docID, raw, 0)
+}
+
+func (ins *Instrumenter) instrumentBytesDepth(docID string, raw []byte, depth int) (*Result, error) {
+	hash := ContentHash(raw)
+	if ins.registry.SeenHash(hash) {
+		return nil, fmt.Errorf("%s: %w", docID, ErrDuplicate)
+	}
+
+	t0 := time.Now()
+	doc, err := pdf.Parse(raw, pdf.ParseOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("parse %s: %w", docID, err)
+	}
+	removedPw := false
+	if doc.IsEncrypted() {
+		if err := pdf.RemoveOwnerPassword(doc); err != nil {
+			return nil, fmt.Errorf("remove owner password %s: %w", docID, err)
+		}
+		removedPw = true
+	}
+	parseDur := time.Since(t0)
+
+	embedded, err := ins.instrumentEmbedded(docID, doc, depth)
+	if err != nil {
+		return nil, err
+	}
+
+	t1 := time.Now()
+	chains, err := pdf.ReconstructChains(doc)
+	if err != nil {
+		return nil, fmt.Errorf("chains %s: %w", docID, err)
+	}
+	features := ExtractFeatures(doc, chains)
+	featDur := time.Since(t1)
+
+	if !chains.HasJavaScript() {
+		res := &Result{
+			DocID:       docID,
+			Features:    features,
+			Chains:      chains,
+			Output:      raw,
+			Doc:         doc,
+			ObjectCount: doc.Len(),
+			Embedded:    embedded,
+			Timing:      PhaseTiming{ParseDecompress: parseDur, FeatureExtraction: featDur},
+		}
+		if len(embedded) == 0 {
+			return res, ErrNoJavaScript
+		}
+		// The host carries no script but its attachments do: emit the host
+		// with instrumented attachments embedded.
+		out, werr := pdf.Write(doc, pdf.WriteOptions{})
+		if werr != nil {
+			return nil, fmt.Errorf("write %s: %w", docID, werr)
+		}
+		res.Output = out
+		return res, nil
+	}
+
+	t2 := time.Now()
+	instrKey, err := NewInstrKey(nil)
+	if err != nil {
+		return nil, err
+	}
+	key := Key{DetectorID: ins.registry.DetectorID(), InstrKey: instrKey}
+	builder := &monitorBuilder{rng: ins.rng, endpoint: ins.endpoint, detectorID: key.DetectorID}
+
+	res := &Result{
+		DocID:                docID,
+		Key:                  key,
+		Features:             features,
+		Chains:               chains,
+		Doc:                  doc,
+		ObjectCount:          doc.Len(),
+		OwnerPasswordRemoved: removedPw,
+		Embedded:             embedded,
+		Spec:                 DeinstrumentSpec{DocID: docID, InstrKey: instrKey},
+	}
+
+	// Holders that appear in another chain's /Next sequence are folded into
+	// the head of the sequence and must not get their own monitor.
+	sequential := make(map[int]bool)
+	for _, c := range chains.Chains {
+		for _, n := range c.NextNums {
+			sequential[n] = true
+		}
+	}
+	chainByHolder := make(map[int]*pdf.JSChain, len(chains.Chains))
+	for i := range chains.Chains {
+		chainByHolder[chains.Chains[i].Holder] = &chains.Chains[i]
+	}
+
+	seq := 0
+	for i := range chains.Chains {
+		chain := &chains.Chains[i]
+		if !chain.Triggered || sequential[chain.Holder] {
+			continue
+		}
+		seq++
+		combined := chain.Source
+		for _, nextNum := range chain.NextNums {
+			if nc, ok := chainByHolder[nextNum]; ok && nc.Source != "" {
+				combined += "\n;" + nc.Source
+			}
+		}
+		rewritten, nStaged := ins.rewriteStaged(combined, 0, func(inner string) string {
+			seq++
+			return builder.build(key, seq, inner)
+		})
+		res.StagedRewrites += nStaged
+		monitored := builder.build(key, seq, rewritten)
+
+		if err := ins.replaceScript(doc, chain, monitored, &res.Spec); err != nil {
+			return nil, fmt.Errorf("instrument %s holder %d: %w", docID, chain.Holder, err)
+		}
+		// Blank the sequential scripts that were folded in.
+		for _, nextNum := range chain.NextNums {
+			nc, ok := chainByHolder[nextNum]
+			if !ok {
+				continue
+			}
+			if err := ins.replaceScript(doc, nc, "", &res.Spec); err != nil {
+				return nil, fmt.Errorf("blank %s holder %d: %w", docID, nextNum, err)
+			}
+			res.Spec.Entries[len(res.Spec.Entries)-1].Cleared = true
+		}
+		res.ScriptsInstrumented++
+	}
+
+	if res.ScriptsInstrumented == 0 {
+		// Chains exist but none are triggered; nothing runs, nothing to
+		// monitor in the host itself.
+		res.Timing = PhaseTiming{ParseDecompress: parseDur, FeatureExtraction: featDur, Instrumentation: time.Since(t2)}
+		if len(embedded) == 0 {
+			res.Output = raw
+			return res, nil
+		}
+		out, werr := pdf.Write(doc, pdf.WriteOptions{})
+		if werr != nil {
+			return nil, fmt.Errorf("write %s: %w", docID, werr)
+		}
+		res.Output = out
+		return res, nil
+	}
+
+	out, err := pdf.Write(doc, pdf.WriteOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("write %s: %w", docID, err)
+	}
+	res.Output = out
+	res.Timing = PhaseTiming{ParseDecompress: parseDur, FeatureExtraction: featDur, Instrumentation: time.Since(t2)}
+
+	if err := ins.registry.Register(DocRecord{
+		DocID:        docID,
+		InstrKey:     instrKey,
+		ContentHash:  hash,
+		ScriptCount:  res.ScriptsInstrumented,
+		StaticVector: features.Vector(),
+	}); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// replaceScript rewrites the script bytes at a chain's location, recording
+// the original in the spec.
+func (ins *Instrumenter) replaceScript(doc *pdf.Document, chain *pdf.JSChain, newSource string, spec *DeinstrumentSpec) error {
+	loc := chain.Location
+	entry := SpecEntry{Location: loc, Original: chain.Source}
+
+	if loc.DataNum >= 0 && loc.InStream {
+		obj, ok := doc.Get(loc.DataNum)
+		if !ok {
+			return fmt.Errorf("data object %d: %w", loc.DataNum, pdf.ErrNotFound)
+		}
+		stream, ok := obj.Object.(*pdf.Stream)
+		if !ok {
+			return fmt.Errorf("data object %d is %s, want stream", loc.DataNum, obj.Object.Kind())
+		}
+		entry.Filters = stream.Filters()
+		raw, filterObj, err := pdf.EncodeChain([]pdf.Name{pdf.FilterFlate}, []byte(newSource))
+		if err != nil {
+			return err
+		}
+		newDict := stream.Dict.Clone()
+		newDict["Filter"] = filterObj
+		doc.Put(pdf.IndirectObject{Num: loc.DataNum, Gen: obj.Gen, Object: &pdf.Stream{Dict: newDict, Raw: raw}})
+		spec.Entries = append(spec.Entries, entry)
+		return nil
+	}
+
+	// Script stored as a string: either directly in the holder dict or in a
+	// referenced string object.
+	newVal := pdf.String{Value: []byte(newSource)}
+	if loc.DataNum >= 0 {
+		obj, ok := doc.Get(loc.DataNum)
+		if !ok {
+			return fmt.Errorf("data object %d: %w", loc.DataNum, pdf.ErrNotFound)
+		}
+		doc.Put(pdf.IndirectObject{Num: loc.DataNum, Gen: obj.Gen, Object: newVal})
+		spec.Entries = append(spec.Entries, entry)
+		return nil
+	}
+	holder, ok := doc.Get(loc.HolderNum)
+	if !ok {
+		return fmt.Errorf("holder %d: %w", loc.HolderNum, pdf.ErrNotFound)
+	}
+	var dict pdf.Dict
+	switch v := holder.Object.(type) {
+	case pdf.Dict:
+		dict = v
+	case *pdf.Stream:
+		dict = v.Dict
+	default:
+		return fmt.Errorf("holder %d is %s", loc.HolderNum, holder.Object.Kind())
+	}
+	dict[loc.Key] = newVal
+	spec.Entries = append(spec.Entries, entry)
+	return nil
+}
+
+// Deinstrument restores a document to its pre-instrumentation scripts using
+// the exported spec and removes its registry entry. The paper runs this in
+// the background once a document has been classified benign, so that known
+// documents stop paying the monitoring cost.
+func (ins *Instrumenter) Deinstrument(raw []byte, spec DeinstrumentSpec) ([]byte, error) {
+	doc, err := pdf.Parse(raw, pdf.ParseOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("deinstrument parse: %w", err)
+	}
+	for _, entry := range spec.Entries {
+		chain := &pdf.JSChain{Location: entry.Location, Source: entry.Original}
+		restored := entry.Original
+		if err := ins.replaceScript(doc, chain, restored, &DeinstrumentSpec{}); err != nil {
+			return nil, fmt.Errorf("restore holder %d: %w", entry.Location.HolderNum, err)
+		}
+	}
+	out, err := pdf.Write(doc, pdf.WriteOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("deinstrument write: %w", err)
+	}
+	ins.registry.Remove(spec.InstrKey)
+	return out, nil
+}

@@ -1,0 +1,220 @@
+package instrument
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Key protects the SOAP channel between context monitoring code and the
+// runtime detector. Per §III-C it has two parts: a DetectorID generated at
+// install time (filters out monitoring code instrumented by a different
+// detector, e.g. in a downloaded pre-instrumented document), and an
+// InstrumentationKey generated per document.
+type Key struct {
+	DetectorID string
+	InstrKey   string
+}
+
+// String renders the wire form "DetectorID:InstrumentationKey".
+func (k Key) String() string { return k.DetectorID + ":" + k.InstrKey }
+
+// ParseKey splits a wire-form key.
+func ParseKey(s string) (Key, error) {
+	det, ik, ok := strings.Cut(s, ":")
+	if !ok || det == "" || ik == "" {
+		return Key{}, fmt.Errorf("malformed key %q", s)
+	}
+	return Key{DetectorID: det, InstrKey: ik}, nil
+}
+
+const keyBytes = 12
+
+// randHex reads from rng (crypto/rand when nil) and hex-encodes.
+func randHex(rng io.Reader, n int) (string, error) {
+	if rng == nil {
+		rng = rand.Reader
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(rng, buf); err != nil {
+		return "", fmt.Errorf("key material: %w", err)
+	}
+	return hex.EncodeToString(buf), nil
+}
+
+// NewDetectorID generates an install-time detector identity.
+func NewDetectorID(rng io.Reader) (string, error) { return randHex(rng, keyBytes) }
+
+// NewInstrKey generates a per-document instrumentation key.
+func NewInstrKey(rng io.Reader) (string, error) { return randHex(rng, keyBytes) }
+
+// DocRecord describes one instrumented document in the registry.
+type DocRecord struct {
+	// DocID is the caller-chosen identity (typically a path or corpus id).
+	DocID string `json:"doc_id"`
+	// InstrKey is the per-document key.
+	InstrKey string `json:"instr_key"`
+	// ContentHash is the SHA-256 of the pre-instrumentation bytes, used to
+	// refuse duplicate instrumentation.
+	ContentHash string `json:"content_hash"`
+	// ScriptCount is the number of monitoring-code insertions.
+	ScriptCount int `json:"script_count"`
+	// StaticVector is the normalized static feature vector [F1..F5]
+	// extracted by the front-end; the runtime detector folds it into the
+	// malscore.
+	StaticVector [5]int `json:"static_vector"`
+}
+
+// Registry maintains the mapping between instrumented documents and keys
+// (§III-C: "We also maintain a mapping between instrumented document and
+// key"). It is shared, conceptually, between the front-end (writes) and the
+// runtime detector (reads).
+type Registry struct {
+	mu       sync.RWMutex
+	byKey    map[string]DocRecord
+	byHash   map[string]DocRecord
+	detector string
+}
+
+// NewRegistry returns a registry bound to a detector identity.
+func NewRegistry(detectorID string) *Registry {
+	return &Registry{
+		byKey:    make(map[string]DocRecord),
+		byHash:   make(map[string]DocRecord),
+		detector: detectorID,
+	}
+}
+
+// DetectorID returns the bound detector identity.
+func (r *Registry) DetectorID() string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.detector
+}
+
+// ErrDuplicate is returned when a document is already instrumented.
+var ErrDuplicate = errors.New("document already instrumented")
+
+// Register records an instrumented document. It fails with ErrDuplicate if
+// the content hash is already present, enforcing the paper's "no duplicate
+// instrumentation on a single document" rule.
+func (r *Registry) Register(rec DocRecord) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, exists := r.byHash[rec.ContentHash]; exists {
+		return fmt.Errorf("%w: hash %s", ErrDuplicate, rec.ContentHash[:12])
+	}
+	if _, exists := r.byKey[rec.InstrKey]; exists {
+		return fmt.Errorf("%w: key collision", ErrDuplicate)
+	}
+	r.byKey[rec.InstrKey] = rec
+	r.byHash[rec.ContentHash] = rec
+	return nil
+}
+
+// LookupKey resolves an instrumentation key to its document record.
+func (r *Registry) LookupKey(instrKey string) (DocRecord, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	rec, ok := r.byKey[instrKey]
+	return rec, ok
+}
+
+// SeenHash reports whether the content hash is registered.
+func (r *Registry) SeenHash(hash string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.byHash[hash]
+	return ok
+}
+
+// Remove drops a record (de-instrumentation).
+func (r *Registry) Remove(instrKey string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if rec, ok := r.byKey[instrKey]; ok {
+		delete(r.byKey, instrKey)
+		delete(r.byHash, rec.ContentHash)
+	}
+}
+
+// Len returns the number of registered documents.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.byKey)
+}
+
+// registryFile is the JSON-on-disk form of a registry.
+type registryFile struct {
+	DetectorID string      `json:"detector_id"`
+	Records    []DocRecord `json:"records"`
+}
+
+// SaveJSON persists the registry to path.
+func (r *Registry) SaveJSON(path string) error {
+	r.mu.RLock()
+	file := registryFile{DetectorID: r.detector}
+	for _, rec := range r.byKey {
+		file.Records = append(file.Records, rec)
+	}
+	r.mu.RUnlock()
+	sort.Slice(file.Records, func(i, j int) bool { return file.Records[i].InstrKey < file.Records[j].InstrKey })
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return fmt.Errorf("registry encode: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o600); err != nil {
+		return fmt.Errorf("registry write: %w", err)
+	}
+	return nil
+}
+
+// LoadRegistryJSON reads a registry from path.
+func LoadRegistryJSON(path string) (*Registry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("registry read: %w", err)
+	}
+	var file registryFile
+	if err := json.Unmarshal(data, &file); err != nil {
+		return nil, fmt.Errorf("registry decode: %w", err)
+	}
+	if file.DetectorID == "" {
+		return nil, fmt.Errorf("registry %s: missing detector id", path)
+	}
+	reg := NewRegistry(file.DetectorID)
+	for _, rec := range file.Records {
+		if err := reg.Register(rec); err != nil {
+			return nil, fmt.Errorf("registry %s: %w", path, err)
+		}
+	}
+	return reg, nil
+}
+
+// Validate checks a wire-form key: the DetectorID must match and the
+// InstrumentationKey must be registered. This is the detector-side check;
+// any failure is treated as a fake message (zero tolerance).
+func (r *Registry) Validate(wire string) (DocRecord, error) {
+	k, err := ParseKey(wire)
+	if err != nil {
+		return DocRecord{}, err
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if k.DetectorID != r.detector {
+		return DocRecord{}, fmt.Errorf("foreign detector id %q", k.DetectorID)
+	}
+	rec, ok := r.byKey[k.InstrKey]
+	if !ok {
+		return DocRecord{}, fmt.Errorf("unknown instrumentation key")
+	}
+	return rec, nil
+}

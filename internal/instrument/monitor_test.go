@@ -1,0 +1,145 @@
+package instrument
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pdfshield/internal/js"
+)
+
+// runDecryptor executes decls + a call to the decryptor with ack "ok" and
+// returns the decrypted string.
+func runDecryptor(t *testing.T, decls []string, decryptFn string) string {
+	t.Helper()
+	src := strings.Join(decls, "\n") + "\nout = " + decryptFn + "('ok');"
+	it := js.New()
+	if _, err := it.Run(src); err != nil {
+		t.Fatalf("decryptor run: %v\nsource:\n%s", err, src)
+	}
+	v, ok := it.Global.Lookup("out")
+	if !ok || !v.IsString() {
+		t.Fatalf("decryptor produced %v", v)
+	}
+	return v.Str()
+}
+
+func TestXORHexCipherRoundTripProperty(t *testing.T) {
+	b := &monitorBuilder{rng: rand.New(rand.NewSource(1)), detectorID: "d"}
+	prop := func(raw []byte) bool {
+		// ASCII-only sources for the XOR cipher.
+		src := make([]byte, 0, len(raw))
+		for _, c := range raw {
+			src = append(src, c&0x7f)
+		}
+		names := map[string]bool{}
+		payloadVar := b.freshName(names)
+		keyVar := b.freshName(names)
+		fn := b.freshName(names)
+		payload, jsKey := b.encryptXORHex(string(src))
+		decls := []string{
+			"var " + payloadVar + "=" + jsStringLiteral(payload) + ";",
+			"var " + keyVar + "=" + jsKey + ";",
+			xorHexDecryptor(fn, payloadVar, keyVar, names, b),
+		}
+		return runDecryptor(t, decls, fn) == string(src)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShiftEscapeCipherRoundTripProperty(t *testing.T) {
+	b := &monitorBuilder{rng: rand.New(rand.NewSource(2)), detectorID: "d"}
+	prop := func(src string) bool {
+		// Strip supplementary-plane runes (documented BMP-only limit).
+		var sb strings.Builder
+		for _, r := range src {
+			if r <= 0xffff && (r < 0xd800 || r >= 0xe000) {
+				sb.WriteRune(r)
+			}
+		}
+		clean := sb.String()
+		names := map[string]bool{}
+		payloadVar := b.freshName(names)
+		fn := b.freshName(names)
+		payload, shift := b.encryptShiftEscape(clean)
+		decls := []string{
+			"var " + payloadVar + "=" + jsStringLiteral(payload) + ";",
+			shiftEscapeDecryptor(fn, payloadVar, shift, names, b),
+		}
+		return runDecryptor(t, decls, fn) == clean
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecryptorRejectsWrongAck(t *testing.T) {
+	b := &monitorBuilder{rng: rand.New(rand.NewSource(3)), detectorID: "d"}
+	names := map[string]bool{}
+	payloadVar := b.freshName(names)
+	fn := b.freshName(names)
+	payload, shift := b.encryptShiftEscape("var secret = 1;")
+	src := "var " + payloadVar + "=" + jsStringLiteral(payload) + ";\n" +
+		shiftEscapeDecryptor(fn, payloadVar, shift, names, b) +
+		"\nout = " + fn + "('no');" // wrong ack
+	it := js.New()
+	if _, err := it.Run(src); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	v, _ := it.Global.Lookup("out")
+	if v.Str() == "var secret = 1;" {
+		t.Error("wrong ack still decrypted the payload")
+	}
+}
+
+func TestJSStringLiteralRoundTripProperty(t *testing.T) {
+	prop := func(s string) bool {
+		var sb strings.Builder
+		for _, r := range s {
+			if r <= 0xffff && (r < 0xd800 || r >= 0xe000) {
+				sb.WriteRune(r)
+			}
+		}
+		clean := sb.String()
+		it := js.New()
+		v, err := it.Run("x = " + jsStringLiteral(clean) + ";")
+		if err != nil {
+			return false
+		}
+		return v.Str() == clean
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMonitorLayoutRandomized(t *testing.T) {
+	// Two documents instrumented by the same instrumenter must produce
+	// structurally different monitoring code (identifiers, order, decoys).
+	reg := NewRegistry("layoutdet00001")
+	ins := New(reg, Options{Seed: 9})
+	b := &monitorBuilder{rng: ins.rng, endpoint: ins.endpoint, detectorID: "layoutdet00001"}
+	key := Key{DetectorID: "layoutdet00001", InstrKey: "k1"}
+	a := b.build(key, 1, "var x=1;")
+	c := b.build(key, 1, "var x=1;")
+	if a == c {
+		t.Error("monitoring code not randomized across builds")
+	}
+}
+
+func TestPickSafeShiftAvoidsSurrogates(t *testing.T) {
+	b := &monitorBuilder{rng: rand.New(rand.NewSource(4)), detectorID: "d"}
+	units := []int{0x41, 0x7fff, 0xd7ff, 0x20}
+	for trial := 0; trial < 50; trial++ {
+		shift := b.pickSafeShift(units)
+		for _, u := range units {
+			v := (u + shift) % 0x10000
+			if v >= 0xd800 && v < 0xe000 {
+				t.Fatalf("shift %d lands unit %#x in surrogate range", shift, u)
+			}
+		}
+	}
+}

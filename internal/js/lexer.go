@@ -1,0 +1,324 @@
+package js
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"unicode/utf16"
+	"unicode/utf8"
+)
+
+// ErrSyntax is wrapped by all lexer and parser errors.
+var ErrSyntax = errors.New("js syntax error")
+
+// lexer tokenizes Javascript source.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1}
+}
+
+// punctuators ordered longest-first so maximal munch works with a simple
+// prefix scan.
+var punctuators = []string{
+	">>>=", "===", "!==", ">>>", "<<=", ">>=",
+	"==", "!=", "<=", ">=", "&&", "||", "++", "--",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<", ">>",
+	"{", "}", "(", ")", "[", "]", ";", ",", "<", ">", "+", "-", "*", "/",
+	"%", "&", "|", "^", "!", "~", "?", ":", "=", ".",
+}
+
+// next returns the next token. prevKind is the kind of the previously
+// returned significant token, used to disambiguate regex-vs-division (regex
+// literals are not supported; a '/' in expression-start position is an
+// error with a helpful message).
+func (lx *lexer) next() (Token, error) {
+	nl := lx.skipSpace()
+	start := lx.pos
+	startLine := lx.line
+	if lx.pos >= len(lx.src) {
+		return Token{Kind: TokEOF, Pos: start, Line: startLine, NewlineBefore: nl}, nil
+	}
+	c := lx.src[lx.pos]
+	switch {
+	case c == '"' || c == '\'':
+		s, err := lx.lexString(c)
+		if err != nil {
+			return Token{}, err
+		}
+		return Token{Kind: TokString, Pos: start, Line: startLine, Str: s, NewlineBefore: nl}, nil
+	case c >= '0' && c <= '9', c == '.' && lx.pos+1 < len(lx.src) && isDigit(lx.src[lx.pos+1]):
+		n, err := lx.lexNumber()
+		if err != nil {
+			return Token{}, err
+		}
+		return Token{Kind: TokNumber, Pos: start, Line: startLine, Num: n, NewlineBefore: nl}, nil
+	case isIdentStart(c):
+		ident := lx.lexIdent()
+		kind := TokIdent
+		if keywords[ident] {
+			kind = TokKeyword
+		}
+		return Token{Kind: kind, Pos: start, Line: startLine, Str: ident, NewlineBefore: nl}, nil
+	default:
+		for _, p := range punctuators {
+			if strings.HasPrefix(lx.src[lx.pos:], p) {
+				lx.pos += len(p)
+				return Token{Kind: TokPunct, Pos: start, Line: startLine, Str: p, NewlineBefore: nl}, nil
+			}
+		}
+		return Token{}, fmt.Errorf("%w: unexpected character %q at line %d", ErrSyntax, c, lx.line)
+	}
+}
+
+// skipSpace consumes whitespace and comments, reporting whether a line
+// terminator was crossed.
+func (lx *lexer) skipSpace() (sawNewline bool) {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == '\n':
+			sawNewline = true
+			lx.line++
+			lx.pos++
+		case c == '\r' || c == ' ' || c == '\t' || c == '\v' || c == '\f':
+			if c == '\r' {
+				sawNewline = true
+			}
+			lx.pos++
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/':
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		case c == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '*':
+			lx.pos += 2
+			for lx.pos+1 < len(lx.src) && !(lx.src[lx.pos] == '*' && lx.src[lx.pos+1] == '/') {
+				if lx.src[lx.pos] == '\n' {
+					sawNewline = true
+					lx.line++
+				}
+				lx.pos++
+			}
+			lx.pos += 2
+			if lx.pos > len(lx.src) {
+				lx.pos = len(lx.src)
+			}
+		default:
+			return sawNewline
+		}
+	}
+	return sawNewline
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '$' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c >= 0x80
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func (lx *lexer) lexIdent() string {
+	start := lx.pos
+	for lx.pos < len(lx.src) && isIdentPart(lx.src[lx.pos]) {
+		lx.pos++
+	}
+	return lx.src[start:lx.pos]
+}
+
+func (lx *lexer) lexNumber() (float64, error) {
+	start := lx.pos
+	// Hex literal.
+	if lx.src[lx.pos] == '0' && lx.pos+1 < len(lx.src) && (lx.src[lx.pos+1] == 'x' || lx.src[lx.pos+1] == 'X') {
+		lx.pos += 2
+		v := 0.0
+		digits := 0
+		for lx.pos < len(lx.src) {
+			d, ok := hexDigit(lx.src[lx.pos])
+			if !ok {
+				break
+			}
+			v = v*16 + float64(d)
+			digits++
+			lx.pos++
+		}
+		if digits == 0 {
+			return 0, fmt.Errorf("%w: malformed hex literal at line %d", ErrSyntax, lx.line)
+		}
+		return v, nil
+	}
+	for lx.pos < len(lx.src) && isDigit(lx.src[lx.pos]) {
+		lx.pos++
+	}
+	if lx.pos < len(lx.src) && lx.src[lx.pos] == '.' {
+		lx.pos++
+		for lx.pos < len(lx.src) && isDigit(lx.src[lx.pos]) {
+			lx.pos++
+		}
+	}
+	if lx.pos < len(lx.src) && (lx.src[lx.pos] == 'e' || lx.src[lx.pos] == 'E') {
+		save := lx.pos
+		lx.pos++
+		if lx.pos < len(lx.src) && (lx.src[lx.pos] == '+' || lx.src[lx.pos] == '-') {
+			lx.pos++
+		}
+		if lx.pos < len(lx.src) && isDigit(lx.src[lx.pos]) {
+			for lx.pos < len(lx.src) && isDigit(lx.src[lx.pos]) {
+				lx.pos++
+			}
+		} else {
+			lx.pos = save
+		}
+	}
+	return parseDecimal(lx.src[start:lx.pos])
+}
+
+func hexDigit(c byte) (int, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0'), true
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10, true
+	case c >= 'A' && c <= 'F':
+		return int(c-'A') + 10, true
+	}
+	return 0, false
+}
+
+// parseDecimal parses a decimal float without strconv's full grammar
+// (Javascript numbers here never need hex floats or underscores).
+func parseDecimal(s string) (float64, error) {
+	var mant float64
+	i := 0
+	for i < len(s) && isDigit(s[i]) {
+		mant = mant*10 + float64(s[i]-'0')
+		i++
+	}
+	if i < len(s) && s[i] == '.' {
+		i++
+		div := 1.0
+		for i < len(s) && isDigit(s[i]) {
+			div *= 10
+			mant += float64(s[i]-'0') / div
+			i++
+		}
+	}
+	if i < len(s) && (s[i] == 'e' || s[i] == 'E') {
+		i++
+		neg := false
+		if i < len(s) && (s[i] == '+' || s[i] == '-') {
+			neg = s[i] == '-'
+			i++
+		}
+		exp := 0
+		for i < len(s) && isDigit(s[i]) {
+			exp = exp*10 + int(s[i]-'0')
+			i++
+		}
+		if neg {
+			exp = -exp
+		}
+		mant *= math.Pow(10, float64(exp))
+	}
+	return mant, nil
+}
+
+// lexString lexes a quoted string literal handling the escape forms that
+// appear in real PDF malware: \xNN, \uNNNN, octal, and the usual singles.
+func (lx *lexer) lexString(quote byte) (string, error) {
+	lx.pos++ // opening quote
+	var b strings.Builder
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch c {
+		case quote:
+			lx.pos++
+			return b.String(), nil
+		case '\n':
+			return "", fmt.Errorf("%w: unterminated string at line %d", ErrSyntax, lx.line)
+		case '\\':
+			lx.pos++
+			if lx.pos >= len(lx.src) {
+				return "", fmt.Errorf("%w: dangling escape at line %d", ErrSyntax, lx.line)
+			}
+			e := lx.src[lx.pos]
+			switch e {
+			case 'n':
+				b.WriteByte('\n')
+				lx.pos++
+			case 'r':
+				b.WriteByte('\r')
+				lx.pos++
+			case 't':
+				b.WriteByte('\t')
+				lx.pos++
+			case 'b':
+				b.WriteByte('\b')
+				lx.pos++
+			case 'f':
+				b.WriteByte('\f')
+				lx.pos++
+			case 'v':
+				b.WriteByte('\v')
+				lx.pos++
+			case '0':
+				b.WriteByte(0)
+				lx.pos++
+			case 'x':
+				lx.pos++
+				v, ok := lx.readHex(2)
+				if !ok {
+					return "", fmt.Errorf("%w: bad \\x escape at line %d", ErrSyntax, lx.line)
+				}
+				b.WriteRune(rune(v))
+			case 'u':
+				lx.pos++
+				v, ok := lx.readHex(4)
+				if !ok {
+					return "", fmt.Errorf("%w: bad \\u escape at line %d", ErrSyntax, lx.line)
+				}
+				r := rune(v)
+				if utf16.IsSurrogate(r) {
+					// Keep lone surrogates as replacement; shellcode strings
+					// use them only for byte patterns and never round-trip
+					// through UTF-8 anyway.
+					b.WriteRune(r)
+				} else {
+					b.WriteRune(r)
+				}
+			case '\n':
+				lx.line++
+				lx.pos++
+			default:
+				b.WriteByte(e)
+				lx.pos++
+			}
+		default:
+			r, size := utf8.DecodeRuneInString(lx.src[lx.pos:])
+			b.WriteRune(r)
+			lx.pos += size
+		}
+	}
+	return "", fmt.Errorf("%w: unterminated string", ErrSyntax)
+}
+
+func (lx *lexer) readHex(n int) (int, bool) {
+	v := 0
+	for i := 0; i < n; i++ {
+		if lx.pos >= len(lx.src) {
+			return 0, false
+		}
+		d, ok := hexDigit(lx.src[lx.pos])
+		if !ok {
+			return 0, false
+		}
+		v = v*16 + d
+		lx.pos++
+	}
+	return v, true
+}

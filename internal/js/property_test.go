@@ -1,0 +1,137 @@
+package js
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestLexerNeverPanicsProperty(t *testing.T) {
+	prop := func(src string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on %q: %v", src, r)
+				ok = false
+			}
+		}()
+		lx := newLexer(src)
+		for i := 0; i < 10000; i++ {
+			tok, err := lx.next()
+			if err != nil || tok.Kind == TokEOF {
+				return true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParserNeverPanicsProperty(t *testing.T) {
+	prop := func(src string) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on %q: %v", src, r)
+				ok = false
+			}
+		}()
+		_, _ = Parse(src)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntegerArithmeticMatchesGoProperty(t *testing.T) {
+	it := New()
+	prop := func(a, b int16) bool {
+		src := fmt.Sprintf("(%d) + (%d);", a, b)
+		v, err := it.Run(src)
+		if err != nil {
+			return false
+		}
+		return v.Num() == float64(int64(a)+int64(b))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitwiseMatchesGoProperty(t *testing.T) {
+	it := New()
+	prop := func(a, b int32) bool {
+		for _, op := range []struct {
+			src  string
+			want int32
+		}{
+			{fmt.Sprintf("(%d) & (%d);", a, b), a & b},
+			{fmt.Sprintf("(%d) | (%d);", a, b), a | b},
+			{fmt.Sprintf("(%d) ^ (%d);", a, b), a ^ b},
+		} {
+			v, err := it.Run(op.src)
+			if err != nil || v.Num() != float64(op.want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringConcatLengthProperty(t *testing.T) {
+	prop := func(a, b string) bool {
+		it := New()
+		it.Global.Declare("a", StringValue(a))
+		it.Global.Declare("b", StringValue(b))
+		v, err := it.Run("(a + b).length;")
+		if err != nil {
+			return false
+		}
+		return int(v.Num()) == utf16Len(a)+utf16Len(b)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEscapeUnescapeRoundTripProperty(t *testing.T) {
+	prop := func(s string) bool {
+		// BMP-only (documented engine limit).
+		clean := ""
+		for _, r := range s {
+			if r <= 0xffff && (r < 0xd800 || r >= 0xe000) {
+				clean += string(r)
+			}
+		}
+		return unescapeJS(escapeJS(clean)) == clean
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseIntMatchesSpecCases(t *testing.T) {
+	cases := []struct {
+		s     string
+		radix int
+		want  float64
+	}{
+		{"42", 0, 42},
+		{"0x1f", 0, 31},
+		{"0x1f", 16, 31},
+		{"1f", 16, 31},
+		{"  12abc", 10, 12},
+		{"-7", 0, -7},
+		{"z", 36, 35},
+		{"101", 2, 5},
+	}
+	for _, c := range cases {
+		if got := parseIntJS(c.s, c.radix); got != c.want {
+			t.Errorf("parseInt(%q, %d) = %v, want %v", c.s, c.radix, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,391 @@
+// Package ml provides the small machine-learning toolbox the baseline
+// detectors of Table IX are built on: dense feature vectors, a CART-style
+// decision tree, a linear SVM trained with SGD (hinge loss), and a
+// centroid-based one-class classifier approximating the OCSVM used by
+// PJScan. Everything is deterministic given the caller's seed.
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Example is one labelled feature vector. Label is +1 / -1.
+type Example struct {
+	X []float64
+	Y int
+}
+
+// Dataset is a set of examples with a fixed dimensionality.
+type Dataset struct {
+	Dim      int
+	Examples []Example
+}
+
+// Add appends an example (padding or truncating to Dim).
+func (d *Dataset) Add(x []float64, y int) {
+	v := make([]float64, d.Dim)
+	copy(v, x)
+	d.Examples = append(d.Examples, Example{X: v, Y: y})
+}
+
+// Classifier is a trained binary classifier.
+type Classifier interface {
+	// Predict returns +1 (malicious) or -1 (benign).
+	Predict(x []float64) int
+}
+
+// ---- decision tree ----
+
+// TreeConfig tunes decision-tree training.
+type TreeConfig struct {
+	MaxDepth    int
+	MinLeafSize int
+}
+
+type treeNode struct {
+	feature   int
+	threshold float64
+	left      *treeNode
+	right     *treeNode
+	label     int
+	leaf      bool
+}
+
+// Tree is a CART-style decision tree using Gini impurity.
+type Tree struct {
+	root *treeNode
+}
+
+var _ Classifier = (*Tree)(nil)
+
+// TrainTree fits a decision tree.
+func TrainTree(ds *Dataset, cfg TreeConfig) *Tree {
+	if cfg.MaxDepth == 0 {
+		cfg.MaxDepth = 12
+	}
+	if cfg.MinLeafSize == 0 {
+		cfg.MinLeafSize = 2
+	}
+	idx := make([]int, len(ds.Examples))
+	for i := range idx {
+		idx[i] = i
+	}
+	return &Tree{root: buildTree(ds, idx, cfg, 0)}
+}
+
+func majority(ds *Dataset, idx []int) int {
+	pos := 0
+	for _, i := range idx {
+		if ds.Examples[i].Y > 0 {
+			pos++
+		}
+	}
+	if pos*2 >= len(idx) {
+		return 1
+	}
+	return -1
+}
+
+func gini(pos, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	p := float64(pos) / float64(total)
+	return 2 * p * (1 - p)
+}
+
+func buildTree(ds *Dataset, idx []int, cfg TreeConfig, depth int) *treeNode {
+	label := majority(ds, idx)
+	pure := true
+	for _, i := range idx {
+		if ds.Examples[i].Y != ds.Examples[idx[0]].Y {
+			pure = false
+			break
+		}
+	}
+	if pure || depth >= cfg.MaxDepth || len(idx) <= cfg.MinLeafSize {
+		return &treeNode{leaf: true, label: label}
+	}
+
+	bestFeature, bestThreshold := -1, 0.0
+	bestImpurity := math.Inf(1)
+	vals := make([]float64, 0, len(idx))
+	for f := 0; f < ds.Dim; f++ {
+		vals = vals[:0]
+		for _, i := range idx {
+			vals = append(vals, ds.Examples[i].X[f])
+		}
+		sort.Float64s(vals)
+		for k := 0; k+1 < len(vals); k++ {
+			if vals[k] == vals[k+1] {
+				continue
+			}
+			thr := (vals[k] + vals[k+1]) / 2
+			lp, lt, rp, rt := 0, 0, 0, 0
+			for _, i := range idx {
+				if ds.Examples[i].X[f] <= thr {
+					lt++
+					if ds.Examples[i].Y > 0 {
+						lp++
+					}
+				} else {
+					rt++
+					if ds.Examples[i].Y > 0 {
+						rp++
+					}
+				}
+			}
+			imp := (float64(lt)*gini(lp, lt) + float64(rt)*gini(rp, rt)) / float64(len(idx))
+			if imp < bestImpurity {
+				bestImpurity = imp
+				bestFeature = f
+				bestThreshold = thr
+			}
+		}
+	}
+	if bestFeature < 0 {
+		return &treeNode{leaf: true, label: label}
+	}
+	var leftIdx, rightIdx []int
+	for _, i := range idx {
+		if ds.Examples[i].X[bestFeature] <= bestThreshold {
+			leftIdx = append(leftIdx, i)
+		} else {
+			rightIdx = append(rightIdx, i)
+		}
+	}
+	if len(leftIdx) == 0 || len(rightIdx) == 0 {
+		return &treeNode{leaf: true, label: label}
+	}
+	return &treeNode{
+		feature:   bestFeature,
+		threshold: bestThreshold,
+		left:      buildTree(ds, leftIdx, cfg, depth+1),
+		right:     buildTree(ds, rightIdx, cfg, depth+1),
+	}
+}
+
+// Predict implements Classifier.
+func (t *Tree) Predict(x []float64) int {
+	n := t.root
+	for !n.leaf {
+		f := 0.0
+		if n.feature < len(x) {
+			f = x[n.feature]
+		}
+		if f <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.label
+}
+
+// ---- linear SVM (SGD, hinge loss) ----
+
+// SVMConfig tunes SVM training.
+type SVMConfig struct {
+	Epochs int
+	Lambda float64
+	Seed   int64
+}
+
+// SVM is a linear classifier.
+type SVM struct {
+	W []float64
+	B float64
+}
+
+var _ Classifier = (*SVM)(nil)
+
+// TrainSVM fits a linear SVM with Pegasos-style SGD.
+func TrainSVM(ds *Dataset, cfg SVMConfig) *SVM {
+	if cfg.Epochs == 0 {
+		cfg.Epochs = 20
+	}
+	if cfg.Lambda == 0 {
+		cfg.Lambda = 1e-3
+	}
+	//nolint:gosec // deterministic training shuffle.
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	w := make([]float64, ds.Dim)
+	b := 0.0
+	t := 0
+	order := make([]int, len(ds.Examples))
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, i := range order {
+			t++
+			eta := 1 / (cfg.Lambda * float64(t))
+			ex := ds.Examples[i]
+			margin := float64(ex.Y) * (dot(w, ex.X) + b)
+			for j := range w {
+				w[j] *= 1 - eta*cfg.Lambda
+			}
+			if margin < 1 {
+				for j := range w {
+					w[j] += eta * float64(ex.Y) * ex.X[j]
+				}
+				b += eta * float64(ex.Y)
+			}
+		}
+	}
+	return &SVM{W: w, B: b}
+}
+
+func dot(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	s := 0.0
+	for i := 0; i < n; i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Predict implements Classifier.
+func (m *SVM) Predict(x []float64) int {
+	if dot(m.W, x)+m.B >= 0 {
+		return 1
+	}
+	return -1
+}
+
+// Score returns the signed margin.
+func (m *SVM) Score(x []float64) float64 { return dot(m.W, x) + m.B }
+
+// ---- one-class classifier (OCSVM approximation) ----
+
+// OneClass models the benign class as a centroid plus a quantile radius in
+// normalized feature space; points outside the radius are anomalies. This
+// approximates the one-class SVM with RBF kernel that PJScan trains on
+// benign lexical profiles.
+type OneClass struct {
+	Center []float64
+	Scale  []float64
+	Radius float64
+}
+
+// TrainOneClass fits the model on (benign) vectors. quantile (0,1] sets the
+// training-data fraction inside the boundary, e.g. 0.95.
+func TrainOneClass(vectors [][]float64, quantile float64) *OneClass {
+	if len(vectors) == 0 {
+		return &OneClass{Radius: math.Inf(1)}
+	}
+	if quantile <= 0 || quantile > 1 {
+		quantile = 0.95
+	}
+	dim := len(vectors[0])
+	center := make([]float64, dim)
+	for _, v := range vectors {
+		for i := 0; i < dim && i < len(v); i++ {
+			center[i] += v[i]
+		}
+	}
+	for i := range center {
+		center[i] /= float64(len(vectors))
+	}
+	scale := make([]float64, dim)
+	for _, v := range vectors {
+		for i := 0; i < dim && i < len(v); i++ {
+			d := v[i] - center[i]
+			scale[i] += d * d
+		}
+	}
+	for i := range scale {
+		scale[i] = math.Sqrt(scale[i]/float64(len(vectors))) + 1e-9
+	}
+	dists := make([]float64, len(vectors))
+	oc := &OneClass{Center: center, Scale: scale}
+	for i, v := range vectors {
+		dists[i] = oc.distance(v)
+	}
+	sort.Float64s(dists)
+	k := int(quantile*float64(len(dists))) - 1
+	if k < 0 {
+		k = 0
+	}
+	if k >= len(dists) {
+		k = len(dists) - 1
+	}
+	oc.Radius = dists[k]
+	return oc
+}
+
+func (oc *OneClass) distance(x []float64) float64 {
+	s := 0.0
+	for i := range oc.Center {
+		xv := 0.0
+		if i < len(x) {
+			xv = x[i]
+		}
+		d := (xv - oc.Center[i]) / oc.Scale[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Anomalous reports whether x falls outside the benign boundary.
+func (oc *OneClass) Anomalous(x []float64) bool {
+	return oc.distance(x) > oc.Radius
+}
+
+// ---- evaluation metrics ----
+
+// Confusion counts binary-classification outcomes (positive = malicious).
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Observe records one prediction.
+func (c *Confusion) Observe(predictedPositive, actuallyPositive bool) {
+	switch {
+	case predictedPositive && actuallyPositive:
+		c.TP++
+	case predictedPositive && !actuallyPositive:
+		c.FP++
+	case !predictedPositive && actuallyPositive:
+		c.FN++
+	default:
+		c.TN++
+	}
+}
+
+// TPR is the true-positive (detection) rate.
+func (c Confusion) TPR() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// FPR is the false-positive rate.
+func (c Confusion) FPR() float64 {
+	if c.FP+c.TN == 0 {
+		return 0
+	}
+	return float64(c.FP) / float64(c.FP+c.TN)
+}
+
+// Accuracy is overall accuracy.
+func (c Confusion) Accuracy() float64 {
+	total := c.TP + c.FP + c.TN + c.FN
+	if total == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(total)
+}
+
+func (c Confusion) String() string {
+	return fmt.Sprintf("TP=%d FP=%d TN=%d FN=%d (TPR %.1f%%, FPR %.2f%%)",
+		c.TP, c.FP, c.TN, c.FN, c.TPR()*100, c.FPR()*100)
+}

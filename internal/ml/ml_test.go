@@ -1,0 +1,155 @@
+package ml
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func separableDataset(n int, dim int, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	ds := &Dataset{Dim: dim}
+	for i := 0; i < n; i++ {
+		x := make([]float64, dim)
+		for j := range x {
+			x[j] = rng.Float64()
+		}
+		// Class by a simple threshold on feature 0 with margin.
+		if x[0] > 0.6 {
+			ds.Add(x, 1)
+		} else if x[0] < 0.4 {
+			ds.Add(x, -1)
+		}
+	}
+	return ds
+}
+
+func TestTreeOnSeparableData(t *testing.T) {
+	ds := separableDataset(400, 5, 1)
+	tree := TrainTree(ds, TreeConfig{})
+	errs := 0
+	for _, ex := range ds.Examples {
+		if tree.Predict(ex.X) != ex.Y {
+			errs++
+		}
+	}
+	if errs > len(ds.Examples)/50 {
+		t.Errorf("tree training errors = %d/%d", errs, len(ds.Examples))
+	}
+}
+
+func TestTreePureLeaf(t *testing.T) {
+	ds := &Dataset{Dim: 2}
+	for i := 0; i < 10; i++ {
+		ds.Add([]float64{float64(i), 0}, 1)
+	}
+	tree := TrainTree(ds, TreeConfig{})
+	if tree.Predict([]float64{3, 0}) != 1 {
+		t.Error("pure dataset misclassified")
+	}
+}
+
+func TestTreeHandlesShortVectors(t *testing.T) {
+	ds := separableDataset(100, 4, 2)
+	tree := TrainTree(ds, TreeConfig{})
+	// Predict with a shorter vector: missing features read as 0.
+	_ = tree.Predict([]float64{0.9})
+}
+
+func TestSVMOnSeparableData(t *testing.T) {
+	ds := separableDataset(400, 5, 3)
+	svm := TrainSVM(ds, SVMConfig{Seed: 3})
+	errs := 0
+	for _, ex := range ds.Examples {
+		if svm.Predict(ex.X) != ex.Y {
+			errs++
+		}
+	}
+	if errs > len(ds.Examples)/10 {
+		t.Errorf("svm training errors = %d/%d", errs, len(ds.Examples))
+	}
+}
+
+func TestSVMDeterministic(t *testing.T) {
+	ds := separableDataset(100, 3, 4)
+	a := TrainSVM(ds, SVMConfig{Seed: 9})
+	b := TrainSVM(ds, SVMConfig{Seed: 9})
+	for i := range a.W {
+		if a.W[i] != b.W[i] {
+			t.Fatal("svm training not deterministic")
+		}
+	}
+}
+
+func TestOneClass(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var train [][]float64
+	for i := 0; i < 300; i++ {
+		train = append(train, []float64{rng.NormFloat64(), rng.NormFloat64()})
+	}
+	oc := TrainOneClass(train, 0.95)
+	if oc.Anomalous([]float64{0, 0}) {
+		t.Error("center flagged anomalous")
+	}
+	if !oc.Anomalous([]float64{40, 40}) {
+		t.Error("distant point not anomalous")
+	}
+	inliers := 0
+	for _, v := range train {
+		if !oc.Anomalous(v) {
+			inliers++
+		}
+	}
+	frac := float64(inliers) / float64(len(train))
+	if frac < 0.90 || frac > 1.0 {
+		t.Errorf("inlier fraction = %.2f, want ~0.95", frac)
+	}
+}
+
+func TestOneClassEmpty(t *testing.T) {
+	oc := TrainOneClass(nil, 0.95)
+	if oc.Anomalous([]float64{1, 2, 3}) {
+		t.Error("empty model should accept everything")
+	}
+}
+
+func TestConfusionMetrics(t *testing.T) {
+	var c Confusion
+	c.Observe(true, true)   // TP
+	c.Observe(true, true)   // TP
+	c.Observe(false, true)  // FN
+	c.Observe(true, false)  // FP
+	c.Observe(false, false) // TN
+	c.Observe(false, false) // TN
+	if c.TP != 2 || c.FN != 1 || c.FP != 1 || c.TN != 2 {
+		t.Fatalf("counts = %+v", c)
+	}
+	if got := c.TPR(); got < 0.66 || got > 0.67 {
+		t.Errorf("TPR = %v", got)
+	}
+	if got := c.FPR(); got < 0.33 || got > 0.34 {
+		t.Errorf("FPR = %v", got)
+	}
+	if got := c.Accuracy(); got != 4.0/6 {
+		t.Errorf("accuracy = %v", got)
+	}
+}
+
+func TestConfusionZero(t *testing.T) {
+	var c Confusion
+	if c.TPR() != 0 || c.FPR() != 0 || c.Accuracy() != 0 {
+		t.Error("zero confusion should yield zero rates")
+	}
+}
+
+func TestTreePredictionsAreValidLabelsProperty(t *testing.T) {
+	ds := separableDataset(200, 3, 7)
+	tree := TrainTree(ds, TreeConfig{})
+	f := func(a, b, c float64) bool {
+		p := tree.Predict([]float64{a, b, c})
+		return p == 1 || p == -1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,372 @@
+package pdf
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ScriptLocation says where the bytes of a Javascript snippet physically
+// live so the instrumenter can rewrite them in place.
+type ScriptLocation struct {
+	// HolderNum is the object whose dictionary has the /JS (or /JavaScript)
+	// key.
+	HolderNum int
+	// Key is the dictionary key that holds the script ("JS" in practice;
+	// "JavaScript" appears in name-tree dictionaries).
+	Key Name
+	// DataNum is the object number holding the script bytes when the value
+	// is an indirect reference; -1 when the value is stored directly in the
+	// holder dictionary.
+	DataNum int
+	// InStream reports that the script bytes live in a stream body (after
+	// filters) rather than in a string object.
+	InStream bool
+}
+
+// JSChain is one reconstructed Javascript chain: the reference path(s) from
+// document roots down to the object holding script data, as described in
+// §III-C of the paper.
+type JSChain struct {
+	// Objects holds every object number on the chain, ancestors plus
+	// descendants, ascending.
+	Objects []int
+	// Holder is the object with the Javascript key.
+	Holder int
+	// Location pinpoints the script bytes.
+	Location ScriptLocation
+	// Source is the decoded script text.
+	Source string
+	// EncodingLevels is the deepest filter chain on any stream of this
+	// chain (static feature F5).
+	EncodingLevels int
+	// Triggered reports whether the chain is reachable from a triggering
+	// action (/OpenAction, /AA, the /Names Javascript tree, or a /Next
+	// sequence); only triggered chains are instrumented.
+	Triggered bool
+	// Trigger names the triggering association when Triggered.
+	Trigger string
+	// NextNums lists holder objects invoked sequentially after this one via
+	// /Next, in invocation order (empty for singly-invoked scripts).
+	NextNums []int
+}
+
+// ChainSet is the result of chain reconstruction over a document.
+type ChainSet struct {
+	Chains []JSChain
+	// ChainObjectCount is the size of the union of objects on all chains.
+	ChainObjectCount int
+	// TotalObjects is the document object count.
+	TotalObjects int
+}
+
+// Ratio returns static feature F1: chain objects over total objects.
+func (cs ChainSet) Ratio() float64 {
+	if cs.TotalObjects == 0 {
+		return 0
+	}
+	return float64(cs.ChainObjectCount) / float64(cs.TotalObjects)
+}
+
+// HasJavaScript reports whether any chain was found.
+func (cs ChainSet) HasJavaScript() bool { return len(cs.Chains) > 0 }
+
+// MaxEncodingLevels returns the deepest encoding level across chains.
+func (cs ChainSet) MaxEncodingLevels() int {
+	maxLvl := 0
+	for _, c := range cs.Chains {
+		if c.EncodingLevels > maxLvl {
+			maxLvl = c.EncodingLevels
+		}
+	}
+	return maxLvl
+}
+
+// ReconstructChains locates every /JS and /JavaScript holder, backtracks to
+// ancestors, forward-searches descendants, extracts script text, and marks
+// chains reachable from triggering actions.
+func ReconstructChains(d *Document) (ChainSet, error) {
+	idx := d.BuildReferenceIndex()
+	cs := ChainSet{TotalObjects: d.Len()}
+
+	holders := findJSHolders(d)
+	if len(holders) == 0 {
+		return cs, nil
+	}
+
+	triggerRoots := triggerRootSet(d)
+	chainUnion := make(map[int]bool)
+
+	for _, h := range holders {
+		chain := JSChain{Holder: h.num, Location: h.loc}
+
+		members := map[int]bool{h.num: true}
+		collectAncestors(idx, h.num, members)
+		collectDescendants(idx, h.num, members)
+
+		for num := range members {
+			chainUnion[num] = true
+		}
+		chain.Objects = sortedKeys(members)
+
+		src, levels, err := extractScript(d, h)
+		if err != nil {
+			// Undecodable script data: keep the chain (it still counts for
+			// F1) with empty source.
+			src, levels = "", chainEncodingLevels(d, members)
+		}
+		chain.Source = src
+		if lv := chainEncodingLevels(d, members); lv > levels {
+			levels = lv
+		}
+		chain.EncodingLevels = levels
+
+		chain.Triggered, chain.Trigger = chainTriggered(members, triggerRoots)
+		chain.NextNums = nextSequence(d, h.num)
+		cs.Chains = append(cs.Chains, chain)
+	}
+	cs.ChainObjectCount = len(chainUnion)
+	sort.Slice(cs.Chains, func(i, j int) bool { return cs.Chains[i].Holder < cs.Chains[j].Holder })
+	return cs, nil
+}
+
+type jsHolder struct {
+	num int
+	loc ScriptLocation
+}
+
+func findJSHolders(d *Document) []jsHolder {
+	var holders []jsHolder
+	for _, num := range d.Numbers() {
+		obj := d.objects[num]
+		var dict Dict
+		switch v := obj.Object.(type) {
+		case Dict:
+			dict = v
+		case *Stream:
+			dict = v.Dict
+		default:
+			continue
+		}
+		for _, key := range []Name{"JS", "JavaScript"} {
+			val, ok := dict[key]
+			if !ok {
+				continue
+			}
+			loc := ScriptLocation{HolderNum: num, Key: key, DataNum: -1}
+			if ref, isRef := val.(Ref); isRef {
+				loc.DataNum = ref.Num
+				if _, isStream := d.Resolve(ref).(*Stream); isStream {
+					loc.InStream = true
+				}
+			}
+			// A /JavaScript key whose value is a dictionary (e.g. the
+			// name-tree entry in the catalog /Names dict) is a trigger
+			// marker, not a holder; require string/stream-ish data.
+			switch d.Resolve(val).(type) {
+			case String, *Stream:
+				holders = append(holders, jsHolder{num: num, loc: loc})
+			}
+		}
+	}
+	return holders
+}
+
+func collectAncestors(idx *ReferenceIndex, start int, members map[int]bool) {
+	stack := []int{start}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range idx.Parents[cur] {
+			if !members[p] {
+				members[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+}
+
+func collectDescendants(idx *ReferenceIndex, start int, members map[int]bool) {
+	stack := []int{start}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, c := range idx.Children[cur] {
+			if !members[c] {
+				members[c] = true
+				stack = append(stack, c)
+			}
+		}
+	}
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// extractScript decodes the script bytes for a holder.
+func extractScript(d *Document, h jsHolder) (string, int, error) {
+	obj, ok := d.Get(h.num)
+	if !ok {
+		return "", 0, fmt.Errorf("holder %d: %w", h.num, ErrNotFound)
+	}
+	var dict Dict
+	switch v := obj.Object.(type) {
+	case Dict:
+		dict = v
+	case *Stream:
+		dict = v.Dict
+	}
+	val := dict.Get(h.loc.Key)
+	switch v := d.Resolve(val).(type) {
+	case String:
+		return v.Text(), 0, nil
+	case *Stream:
+		data, levels, err := DecodeChain(v)
+		if err != nil {
+			return "", levels, err
+		}
+		return string(data), levels, nil
+	default:
+		return "", 0, fmt.Errorf("holder %d key /%s: unsupported script value %s", h.num, h.loc.Key, val.Kind())
+	}
+}
+
+// chainEncodingLevels is the deepest declared filter chain on any stream
+// object among members.
+func chainEncodingLevels(d *Document, members map[int]bool) int {
+	maxLvl := 0
+	for num := range members {
+		obj, ok := d.Get(num)
+		if !ok {
+			continue
+		}
+		if s, isStream := obj.Object.(*Stream); isStream {
+			if n := len(s.Filters()); n > maxLvl {
+				maxLvl = n
+			}
+		}
+	}
+	return maxLvl
+}
+
+// triggerRootSet returns object numbers reachable as the immediate targets
+// of triggering actions, mapped to the trigger name.
+func triggerRootSet(d *Document) map[int]string {
+	roots := make(map[int]string)
+	cat, err := d.Catalog()
+	if err != nil {
+		return roots
+	}
+	if ref, ok := cat.Get("OpenAction").(Ref); ok {
+		roots[ref.Num] = "OpenAction"
+	}
+	if aa, ok := d.ResolveDict(cat.Get("AA")); ok {
+		for _, k := range aa.SortedKeys() {
+			if ref, isRef := aa[k].(Ref); isRef {
+				roots[ref.Num] = "AA/" + string(k)
+			}
+		}
+	}
+	if ref, ok := cat.Get("AA").(Ref); ok {
+		roots[ref.Num] = "AA"
+	}
+	// Names tree: /Names -> /JavaScript -> /Names [ (label) ref ... ] with
+	// optional /Kids nesting.
+	if names, ok := d.ResolveDict(cat.Get("Names")); ok {
+		if ref, isRef := names.Get("JavaScript").(Ref); isRef {
+			roots[ref.Num] = "Names/JavaScript"
+		}
+		if jsTree, ok := d.ResolveDict(names.Get("JavaScript")); ok {
+			walkNameTree(d, jsTree, roots, 0)
+		}
+	}
+	// Page-level /AA actions.
+	for _, num := range d.Numbers() {
+		obj := d.objects[num]
+		dict, ok := obj.Object.(Dict)
+		if !ok {
+			continue
+		}
+		if t, ok := dict.Get("Type").(Name); !ok || (t != "Page" && t != "Annot") {
+			continue
+		}
+		if aa, ok := d.ResolveDict(dict.Get("AA")); ok {
+			for _, k := range aa.SortedKeys() {
+				if ref, isRef := aa[k].(Ref); isRef {
+					roots[ref.Num] = "Page-AA/" + string(k)
+				}
+			}
+		}
+		if ref, ok := dict.Get("AA").(Ref); ok {
+			roots[ref.Num] = "Page-AA"
+		}
+	}
+	return roots
+}
+
+const maxNameTreeDepth = 32
+
+func walkNameTree(d *Document, node Dict, roots map[int]string, depth int) {
+	if depth > maxNameTreeDepth {
+		return
+	}
+	if arr, ok := d.Resolve(node.Get("Names")).(Array); ok {
+		// Pairs of (label, action-ref).
+		for i := 1; i < len(arr); i += 2 {
+			if ref, isRef := arr[i].(Ref); isRef {
+				roots[ref.Num] = "Names/JavaScript"
+			}
+		}
+	}
+	if kids, ok := d.Resolve(node.Get("Kids")).(Array); ok {
+		for _, kid := range kids {
+			if ref, isRef := kid.(Ref); isRef {
+				roots[ref.Num] = "Names/JavaScript"
+			}
+			if kd, ok := d.ResolveDict(kid); ok {
+				walkNameTree(d, kd, roots, depth+1)
+			}
+		}
+	}
+}
+
+func chainTriggered(members map[int]bool, roots map[int]string) (bool, string) {
+	// Deterministic: check members in ascending order.
+	for _, num := range sortedKeys(members) {
+		if trig, ok := roots[num]; ok {
+			return true, trig
+		}
+	}
+	return false, ""
+}
+
+// nextSequence follows /Next links from the holder's action dictionary,
+// returning the holder numbers of subsequently invoked scripts.
+func nextSequence(d *Document, holder int) []int {
+	var seq []int
+	seen := map[int]bool{holder: true}
+	cur := holder
+	for {
+		obj, ok := d.Get(cur)
+		if !ok {
+			break
+		}
+		dict, ok := obj.Object.(Dict)
+		if !ok {
+			break
+		}
+		ref, ok := dict.Get("Next").(Ref)
+		if !ok || seen[ref.Num] {
+			break
+		}
+		seen[ref.Num] = true
+		seq = append(seq, ref.Num)
+		cur = ref.Num
+	}
+	return seq
+}

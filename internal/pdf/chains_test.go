@@ -1,0 +1,280 @@
+package pdf
+
+import (
+	"math"
+	"testing"
+)
+
+// buildChainDoc reproduces the shape of Figure 2 in the paper: a catalog
+// with an /OpenAction chain ending in Javascript, a decoy chain ending in an
+// empty object, plus content objects off any chain.
+func buildChainDoc(t *testing.T) *Document {
+	t.Helper()
+	d := NewDocument()
+
+	// Real chain: catalog -> action -> stream with script.
+	raw, filterObj, err := EncodeChain([]Name{FilterFlate, FilterFlate}, []byte("evil();"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsData := d.Add(&Stream{Dict: Dict{"Filter": filterObj}, Raw: raw})
+	action := d.Add(Dict{"Type": Name("Action"), "S": Name("JavaScript"), "JS": jsData})
+
+	// Decoy chain: a /JS pointing at an empty object via a middle hop would
+	// not be a holder (value must resolve to string/stream); instead model
+	// the paper's object (6 0): a JS chain ending with an empty stream.
+	emptyTarget := d.Add(String{})
+	decoy := d.Add(Dict{"S": Name("JavaScript"), "JS": emptyTarget})
+	_ = decoy
+
+	// Non-chain content.
+	content := d.Add(&Stream{Dict: Dict{}, Raw: []byte("BT ET")})
+	page := d.Add(Dict{"Type": Name("Page"), "Contents": content})
+	pages := d.Add(Dict{"Type": Name("Pages"), "Kids": Array{page}, "Count": Integer(1)})
+	catalog := d.Add(Dict{"Type": Name("Catalog"), "Pages": pages, "OpenAction": action})
+	d.Trailer["Root"] = catalog
+	return d
+}
+
+func TestReconstructChainsBasic(t *testing.T) {
+	d := buildChainDoc(t)
+	cs, err := ReconstructChains(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cs.HasJavaScript() {
+		t.Fatal("no chains found")
+	}
+	if len(cs.Chains) != 2 {
+		t.Fatalf("chains = %d, want 2 (real + decoy)", len(cs.Chains))
+	}
+
+	var triggered, untriggered *JSChain
+	for i := range cs.Chains {
+		if cs.Chains[i].Triggered {
+			triggered = &cs.Chains[i]
+		} else {
+			untriggered = &cs.Chains[i]
+		}
+	}
+	if triggered == nil {
+		t.Fatal("no triggered chain")
+	}
+	if triggered.Trigger != "OpenAction" {
+		t.Errorf("trigger = %q, want OpenAction", triggered.Trigger)
+	}
+	if triggered.Source != "evil();" {
+		t.Errorf("source = %q", triggered.Source)
+	}
+	if triggered.EncodingLevels != 2 {
+		t.Errorf("encoding levels = %d, want 2", triggered.EncodingLevels)
+	}
+	if untriggered == nil {
+		t.Fatal("decoy chain missing")
+	}
+	if untriggered.Source != "" {
+		t.Errorf("decoy source = %q, want empty", untriggered.Source)
+	}
+}
+
+func TestChainRatio(t *testing.T) {
+	d := buildChainDoc(t)
+	cs, err := ReconstructChains(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The triggered chain's ancestors include the catalog, which pulls in
+	// everything referenced transitively below it (pages tree). The decoy
+	// chain also joins the union. Total objects: 8.
+	if cs.TotalObjects != d.Len() {
+		t.Errorf("TotalObjects = %d, want %d", cs.TotalObjects, d.Len())
+	}
+	ratio := cs.Ratio()
+	if ratio <= 0 || ratio > 1 {
+		t.Errorf("ratio = %v out of range", ratio)
+	}
+	// A blank-page malicious doc has ratio near 1; here content objects are
+	// on the chain only via catalog descendants.
+	if math.IsNaN(ratio) {
+		t.Error("ratio is NaN")
+	}
+}
+
+func TestRatioEmptyDocument(t *testing.T) {
+	var cs ChainSet
+	if r := cs.Ratio(); r != 0 {
+		t.Errorf("empty ratio = %v, want 0", r)
+	}
+}
+
+func TestChainNamesTreeTrigger(t *testing.T) {
+	d := NewDocument()
+	jsAction := d.Add(Dict{"S": Name("JavaScript"), "JS": String{Value: []byte("f();")}})
+	tree := d.Add(Dict{"Names": Array{String{Value: []byte("snippet1")}, jsAction}})
+	names := d.Add(Dict{"JavaScript": tree})
+	catalog := d.Add(Dict{"Type": Name("Catalog"), "Names": names})
+	d.Trailer["Root"] = catalog
+
+	cs, err := ReconstructChains(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs.Chains) != 1 {
+		t.Fatalf("chains = %d, want 1", len(cs.Chains))
+	}
+	if !cs.Chains[0].Triggered {
+		t.Error("names-tree chain should be triggered")
+	}
+	if cs.Chains[0].Trigger != "Names/JavaScript" {
+		t.Errorf("trigger = %q", cs.Chains[0].Trigger)
+	}
+}
+
+func TestChainNamesTreeKids(t *testing.T) {
+	d := NewDocument()
+	jsAction := d.Add(Dict{"S": Name("JavaScript"), "JS": String{Value: []byte("g();")}})
+	leaf := d.Add(Dict{"Names": Array{String{Value: []byte("n")}, jsAction}})
+	root := d.Add(Dict{"Kids": Array{leaf}})
+	names := d.Add(Dict{"JavaScript": root})
+	catalog := d.Add(Dict{"Type": Name("Catalog"), "Names": names})
+	d.Trailer["Root"] = catalog
+
+	cs, err := ReconstructChains(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs.Chains) != 1 || !cs.Chains[0].Triggered {
+		t.Fatalf("kids-nested names tree not handled: %+v", cs.Chains)
+	}
+}
+
+func TestChainPageAATrigger(t *testing.T) {
+	d := NewDocument()
+	action := d.Add(Dict{"S": Name("JavaScript"), "JS": String{Value: []byte("h();")}})
+	page := d.Add(Dict{"Type": Name("Page"), "AA": Dict{"O": action}})
+	pages := d.Add(Dict{"Type": Name("Pages"), "Kids": Array{page}})
+	catalog := d.Add(Dict{"Type": Name("Catalog"), "Pages": pages})
+	d.Trailer["Root"] = catalog
+
+	cs, err := ReconstructChains(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs.Chains) != 1 || !cs.Chains[0].Triggered {
+		t.Fatal("page /AA chain should be triggered")
+	}
+	if cs.Chains[0].Trigger != "Page-AA/O" {
+		t.Errorf("trigger = %q", cs.Chains[0].Trigger)
+	}
+}
+
+func TestChainNextSequence(t *testing.T) {
+	d := NewDocument()
+	third := d.Add(Dict{"S": Name("JavaScript"), "JS": String{Value: []byte("three();")}})
+	second := d.Add(Dict{"S": Name("JavaScript"), "JS": String{Value: []byte("two();")}, "Next": third})
+	first := d.Add(Dict{"S": Name("JavaScript"), "JS": String{Value: []byte("one();")}, "Next": second})
+	catalog := d.Add(Dict{"Type": Name("Catalog"), "OpenAction": first})
+	d.Trailer["Root"] = catalog
+
+	cs, err := ReconstructChains(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs.Chains) != 3 {
+		t.Fatalf("chains = %d, want 3", len(cs.Chains))
+	}
+	var firstChain *JSChain
+	for i := range cs.Chains {
+		if cs.Chains[i].Holder == first.Num {
+			firstChain = &cs.Chains[i]
+		}
+	}
+	if firstChain == nil {
+		t.Fatal("first chain not found")
+	}
+	if len(firstChain.NextNums) != 2 {
+		t.Fatalf("NextNums = %v, want 2 entries", firstChain.NextNums)
+	}
+	if firstChain.NextNums[0] != second.Num || firstChain.NextNums[1] != third.Num {
+		t.Errorf("NextNums = %v, want [%d %d]", firstChain.NextNums, second.Num, third.Num)
+	}
+}
+
+func TestChainNextLoopTerminates(t *testing.T) {
+	d := NewDocument()
+	a := d.Add(Dict{"S": Name("JavaScript"), "JS": String{Value: []byte("a();")}})
+	b := d.Add(Dict{"S": Name("JavaScript"), "JS": String{Value: []byte("b();")}, "Next": a})
+	// Close the loop: a -> b.
+	objA, _ := d.Get(a.Num)
+	objA.Object.(Dict)["Next"] = b
+	catalog := d.Add(Dict{"Type": Name("Catalog"), "OpenAction": a})
+	d.Trailer["Root"] = catalog
+
+	cs, err := ReconstructChains(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cs.Chains {
+		if len(c.NextNums) > 2 {
+			t.Errorf("loop not bounded: %v", c.NextNums)
+		}
+	}
+}
+
+func TestNoJavaScriptNoChains(t *testing.T) {
+	d := NewDocument()
+	page := d.Add(Dict{"Type": Name("Page")})
+	pages := d.Add(Dict{"Type": Name("Pages"), "Kids": Array{page}})
+	catalog := d.Add(Dict{"Type": Name("Catalog"), "Pages": pages})
+	d.Trailer["Root"] = catalog
+
+	cs, err := ReconstructChains(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.HasJavaScript() {
+		t.Error("found chains in a scriptless document")
+	}
+	if cs.Ratio() != 0 {
+		t.Errorf("ratio = %v, want 0", cs.Ratio())
+	}
+}
+
+func TestBlankPageMaliciousRatioHigh(t *testing.T) {
+	// Typical malicious layout: one blank page, the rest of the document is
+	// the Javascript chain. Chain objects: js, action, catalog (ancestor on
+	// the reference path); page and pages are off-path -> ratio 3/5.
+	d := NewDocument()
+	js := d.Add(String{Value: []byte("spray();")})
+	action := d.Add(Dict{"S": Name("JavaScript"), "JS": js})
+	page := d.Add(Dict{"Type": Name("Page")})
+	pages := d.Add(Dict{"Type": Name("Pages"), "Kids": Array{page}})
+	catalog := d.Add(Dict{"Type": Name("Catalog"), "Pages": pages, "OpenAction": action})
+	d.Trailer["Root"] = catalog
+
+	cs, err := ReconstructChains(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := cs.Ratio(); r < 0.59 || r > 0.61 {
+		t.Errorf("blank-page malicious ratio = %v, want 0.6", r)
+	}
+}
+
+func TestDegenerateMaliciousRatioOne(t *testing.T) {
+	// The paper found 64 samples with ratio exactly 1: every object in the
+	// document sits on the Javascript chain (no page content at all).
+	d := NewDocument()
+	js := d.Add(String{Value: []byte("spray();")})
+	action := d.Add(Dict{"S": Name("JavaScript"), "JS": js})
+	catalog := d.Add(Dict{"Type": Name("Catalog"), "OpenAction": action})
+	d.Trailer["Root"] = catalog
+
+	cs, err := ReconstructChains(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := cs.Ratio(); r != 1 {
+		t.Errorf("degenerate malicious ratio = %v, want 1", r)
+	}
+}

@@ -1,0 +1,308 @@
+package pdf
+
+import (
+	"bytes"
+	"compress/zlib"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Filter names supported by the codec layer.
+const (
+	FilterFlate     Name = "FlateDecode"
+	FilterASCIIHex  Name = "ASCIIHexDecode"
+	FilterASCII85   Name = "ASCII85Decode"
+	FilterRunLength Name = "RunLengthDecode"
+	FilterLZW       Name = "LZWDecode"
+)
+
+// ErrFilter is wrapped by all filter codec errors.
+var ErrFilter = errors.New("pdf filter error")
+
+// maxDecodedSize bounds decompression output to defend against zip bombs in
+// hostile documents (the front-end runs on untrusted input by design).
+const maxDecodedSize = 256 << 20
+
+// Decode applies a single named filter in the decode direction.
+func Decode(filter Name, data []byte) ([]byte, error) {
+	switch filter {
+	case FilterFlate:
+		return flateDecode(data)
+	case FilterASCIIHex:
+		return asciiHexDecode(data)
+	case FilterASCII85:
+		return ascii85Decode(data)
+	case FilterRunLength:
+		return runLengthDecode(data)
+	case FilterLZW:
+		return lzwDecode(data)
+	default:
+		return nil, fmt.Errorf("%w: unsupported filter %q", ErrFilter, filter)
+	}
+}
+
+// Encode applies a single named filter in the encode direction.
+func Encode(filter Name, data []byte) ([]byte, error) {
+	switch filter {
+	case FilterFlate:
+		return flateEncode(data)
+	case FilterASCIIHex:
+		return asciiHexEncode(data)
+	case FilterASCII85:
+		return ascii85Encode(data)
+	case FilterRunLength:
+		return runLengthEncode(data)
+	case FilterLZW:
+		return lzwEncode(data)
+	default:
+		return nil, fmt.Errorf("%w: unsupported filter %q", ErrFilter, filter)
+	}
+}
+
+// DecodeChain runs the full declared filter chain of a stream and returns the
+// fully decoded bytes along with the number of filter levels applied. The
+// level count feeds static feature F5 (levels of encoding).
+func DecodeChain(s *Stream) (data []byte, levels int, err error) {
+	data = s.Raw
+	filters := s.Filters()
+	for _, f := range filters {
+		data, err = Decode(f, data)
+		if err != nil {
+			return nil, levels, fmt.Errorf("decode %s (level %d): %w", f, levels+1, err)
+		}
+		levels++
+	}
+	return data, levels, nil
+}
+
+// EncodeChain encodes data with the given filter chain (outermost-declared
+// first, i.e. the reverse application order of DecodeChain) and returns the
+// raw stream bytes plus the /Filter object to declare.
+func EncodeChain(filters []Name, data []byte) (raw []byte, filterObj Object, err error) {
+	raw = data
+	for i := len(filters) - 1; i >= 0; i-- {
+		raw, err = Encode(filters[i], raw)
+		if err != nil {
+			return nil, nil, fmt.Errorf("encode %s: %w", filters[i], err)
+		}
+	}
+	switch len(filters) {
+	case 0:
+		return raw, nil, nil
+	case 1:
+		return raw, filters[0], nil
+	default:
+		arr := make(Array, len(filters))
+		for i, f := range filters {
+			arr[i] = f
+		}
+		return raw, arr, nil
+	}
+}
+
+func flateDecode(data []byte) ([]byte, error) {
+	r, err := zlib.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("%w: flate: %v", ErrFilter, err)
+	}
+	defer func() { _ = r.Close() }()
+	out, err := io.ReadAll(io.LimitReader(r, maxDecodedSize+1))
+	if err != nil && !errors.Is(err, io.ErrUnexpectedEOF) {
+		return nil, fmt.Errorf("%w: flate: %v", ErrFilter, err)
+	}
+	if len(out) > maxDecodedSize {
+		return nil, fmt.Errorf("%w: flate output exceeds %d bytes", ErrFilter, maxDecodedSize)
+	}
+	return out, nil
+}
+
+func flateEncode(data []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	w := zlib.NewWriter(&buf)
+	if _, err := w.Write(data); err != nil {
+		return nil, fmt.Errorf("%w: flate encode: %v", ErrFilter, err)
+	}
+	if err := w.Close(); err != nil {
+		return nil, fmt.Errorf("%w: flate encode: %v", ErrFilter, err)
+	}
+	return buf.Bytes(), nil
+}
+
+func asciiHexDecode(data []byte) ([]byte, error) {
+	out := make([]byte, 0, len(data)/2)
+	var hi byte
+	var haveHi bool
+	for i := 0; i < len(data); i++ {
+		c := data[i]
+		if c == '>' {
+			break
+		}
+		if isWhitespace(c) {
+			continue
+		}
+		v, ok := hexVal(c)
+		if !ok {
+			return nil, fmt.Errorf("%w: ascii hex: bad digit %q at %d", ErrFilter, c, i)
+		}
+		if haveHi {
+			out = append(out, hi<<4|v)
+			haveHi = false
+		} else {
+			hi = v
+			haveHi = true
+		}
+	}
+	if haveHi {
+		out = append(out, hi<<4)
+	}
+	return out, nil
+}
+
+func asciiHexEncode(data []byte) ([]byte, error) {
+	const hexdig = "0123456789ABCDEF"
+	out := make([]byte, 0, len(data)*2+1)
+	for _, c := range data {
+		out = append(out, hexdig[c>>4], hexdig[c&0xf])
+	}
+	out = append(out, '>')
+	return out, nil
+}
+
+func ascii85Decode(data []byte) ([]byte, error) {
+	out := make([]byte, 0, len(data)*4/5)
+	var group [5]byte
+	n := 0
+	for i := 0; i < len(data); i++ {
+		c := data[i]
+		if isWhitespace(c) {
+			continue
+		}
+		if c == '~' {
+			// "~>" EOD marker.
+			break
+		}
+		if c == 'z' && n == 0 {
+			out = append(out, 0, 0, 0, 0)
+			continue
+		}
+		if c < '!' || c > 'u' {
+			return nil, fmt.Errorf("%w: ascii85: bad char %q at %d", ErrFilter, c, i)
+		}
+		group[n] = c - '!'
+		n++
+		if n == 5 {
+			v := uint32(0)
+			for _, g := range group {
+				v = v*85 + uint32(g)
+			}
+			out = append(out, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+			n = 0
+		}
+	}
+	if n > 0 {
+		if n == 1 {
+			return nil, fmt.Errorf("%w: ascii85: single trailing digit", ErrFilter)
+		}
+		// Pad with 'u' (84) and keep n-1 output bytes.
+		for i := n; i < 5; i++ {
+			group[i] = 84
+		}
+		v := uint32(0)
+		for _, g := range group {
+			v = v*85 + uint32(g)
+		}
+		full := [4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)}
+		out = append(out, full[:n-1]...)
+	}
+	return out, nil
+}
+
+func ascii85Encode(data []byte) ([]byte, error) {
+	out := make([]byte, 0, len(data)*5/4+2)
+	i := 0
+	for ; i+4 <= len(data); i += 4 {
+		v := uint32(data[i])<<24 | uint32(data[i+1])<<16 | uint32(data[i+2])<<8 | uint32(data[i+3])
+		if v == 0 {
+			out = append(out, 'z')
+			continue
+		}
+		var grp [5]byte
+		for j := 4; j >= 0; j-- {
+			grp[j] = byte(v%85) + '!'
+			v /= 85
+		}
+		out = append(out, grp[:]...)
+	}
+	if rem := len(data) - i; rem > 0 {
+		var last [4]byte
+		copy(last[:], data[i:])
+		v := uint32(last[0])<<24 | uint32(last[1])<<16 | uint32(last[2])<<8 | uint32(last[3])
+		var grp [5]byte
+		for j := 4; j >= 0; j-- {
+			grp[j] = byte(v%85) + '!'
+			v /= 85
+		}
+		out = append(out, grp[:rem+1]...)
+	}
+	out = append(out, '~', '>')
+	return out, nil
+}
+
+func runLengthDecode(data []byte) ([]byte, error) {
+	out := make([]byte, 0, len(data))
+	for i := 0; i < len(data); {
+		l := data[i]
+		i++
+		switch {
+		case l == 128:
+			return out, nil // EOD
+		case l < 128:
+			n := int(l) + 1
+			if i+n > len(data) {
+				return nil, fmt.Errorf("%w: runlength: truncated literal run", ErrFilter)
+			}
+			out = append(out, data[i:i+n]...)
+			i += n
+		default:
+			if i >= len(data) {
+				return nil, fmt.Errorf("%w: runlength: truncated repeat run", ErrFilter)
+			}
+			n := 257 - int(l)
+			for j := 0; j < n; j++ {
+				out = append(out, data[i])
+			}
+			i++
+		}
+	}
+	return out, nil
+}
+
+func runLengthEncode(data []byte) ([]byte, error) {
+	out := make([]byte, 0, len(data)+len(data)/128+2)
+	i := 0
+	for i < len(data) {
+		// Find a repeat run.
+		j := i + 1
+		for j < len(data) && j-i < 128 && data[j] == data[i] {
+			j++
+		}
+		if j-i >= 2 {
+			out = append(out, byte(257-(j-i)), data[i])
+			i = j
+			continue
+		}
+		// Literal run until the next repeat of length >= 3 or 128 bytes.
+		start := i
+		for i < len(data) && i-start < 128 {
+			if i+2 < len(data) && data[i] == data[i+1] && data[i] == data[i+2] {
+				break
+			}
+			i++
+		}
+		out = append(out, byte(i-start-1))
+		out = append(out, data[start:i]...)
+	}
+	out = append(out, 128)
+	return out, nil
+}

@@ -1,0 +1,173 @@
+package pdf
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+var allFilters = []Name{FilterFlate, FilterASCIIHex, FilterASCII85, FilterRunLength, FilterLZW}
+
+func TestFilterRoundTripFixed(t *testing.T) {
+	samples := [][]byte{
+		nil,
+		[]byte(""),
+		[]byte("a"),
+		[]byte("hello world"),
+		bytes.Repeat([]byte{0}, 1000),
+		bytes.Repeat([]byte("ab"), 500),
+		[]byte{0xff, 0x00, 0x80, 0x7f, 0x01},
+		bytes.Repeat([]byte("the quick brown fox jumps over the lazy dog "), 100),
+	}
+	for _, f := range allFilters {
+		for i, s := range samples {
+			enc, err := Encode(f, s)
+			if err != nil {
+				t.Fatalf("%s sample %d: encode: %v", f, i, err)
+			}
+			dec, err := Decode(f, enc)
+			if err != nil {
+				t.Fatalf("%s sample %d: decode: %v", f, i, err)
+			}
+			if !bytes.Equal(dec, s) {
+				t.Errorf("%s sample %d: round trip mismatch (got %d bytes, want %d)", f, i, len(dec), len(s))
+			}
+		}
+	}
+}
+
+func TestFilterRoundTripProperty(t *testing.T) {
+	for _, f := range allFilters {
+		f := f
+		t.Run(string(f), func(t *testing.T) {
+			prop := func(data []byte) bool {
+				enc, err := Encode(f, data)
+				if err != nil {
+					return false
+				}
+				dec, err := Decode(f, enc)
+				if err != nil {
+					return false
+				}
+				return bytes.Equal(dec, data)
+			}
+			if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestLZWLongRepetitive(t *testing.T) {
+	// Force table growth through several width changes and a reset.
+	var data []byte
+	for i := 0; i < 40000; i++ {
+		data = append(data, byte(i%251), byte(i%7))
+	}
+	enc, err := Encode(FilterLZW, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := Decode(FilterLZW, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec, data) {
+		t.Fatal("LZW long round trip mismatch")
+	}
+	if len(enc) >= len(data) {
+		t.Logf("LZW did not compress: %d -> %d", len(data), len(enc))
+	}
+}
+
+func TestDecodeChainMultiLevel(t *testing.T) {
+	payload := []byte("app.alert('hi'); // script body")
+	filters := []Name{FilterASCIIHex, FilterFlate, FilterRunLength}
+	raw, filterObj, err := EncodeChain(filters, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Stream{Dict: Dict{"Filter": filterObj}, Raw: raw}
+	dec, levels, err := DecodeChain(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if levels != 3 {
+		t.Errorf("levels = %d, want 3", levels)
+	}
+	if !bytes.Equal(dec, payload) {
+		t.Errorf("decoded = %q, want %q", dec, payload)
+	}
+}
+
+func TestDecodeChainSingleFilterNameForm(t *testing.T) {
+	raw, filterObj, err := EncodeChain([]Name{FilterFlate}, []byte("data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := filterObj.(Name); !ok {
+		t.Fatalf("single filter should declare a Name, got %T", filterObj)
+	}
+	s := &Stream{Dict: Dict{"Filter": filterObj}, Raw: raw}
+	dec, levels, err := DecodeChain(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if levels != 1 || string(dec) != "data" {
+		t.Errorf("levels=%d dec=%q", levels, dec)
+	}
+}
+
+func TestDecodeChainNoFilter(t *testing.T) {
+	s := &Stream{Dict: Dict{}, Raw: []byte("plain")}
+	dec, levels, err := DecodeChain(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if levels != 0 || string(dec) != "plain" {
+		t.Errorf("levels=%d dec=%q", levels, dec)
+	}
+}
+
+func TestDecodeUnknownFilter(t *testing.T) {
+	if _, err := Decode("DCTDecode", []byte{1}); err == nil {
+		t.Error("expected error for unsupported filter")
+	}
+	if _, err := Encode("Bogus", []byte{1}); err == nil {
+		t.Error("expected error for unsupported encode filter")
+	}
+}
+
+func TestRunLengthMalformed(t *testing.T) {
+	// Literal run that claims more bytes than available.
+	if _, err := Decode(FilterRunLength, []byte{10, 'a'}); err == nil {
+		t.Error("expected truncated literal error")
+	}
+	// Repeat run with no byte.
+	if _, err := Decode(FilterRunLength, []byte{200}); err == nil {
+		t.Error("expected truncated repeat error")
+	}
+}
+
+func TestASCII85ZShortcut(t *testing.T) {
+	enc, err := Encode(FilterASCII85, []byte{0, 0, 0, 0, 'x'})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(enc, []byte{'z'}) {
+		t.Errorf("expected z shortcut in %q", enc)
+	}
+	dec, err := Decode(FilterASCII85, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec, []byte{0, 0, 0, 0, 'x'}) {
+		t.Errorf("decoded %v", dec)
+	}
+}
+
+func TestFlateDecodeGarbage(t *testing.T) {
+	if _, err := Decode(FilterFlate, []byte("definitely not zlib")); err == nil {
+		t.Error("expected error decoding garbage flate data")
+	}
+}

@@ -1,0 +1,358 @@
+package pdf
+
+import (
+	"errors"
+	"fmt"
+)
+
+// TokenType enumerates lexical token kinds produced by the Lexer.
+type TokenType int
+
+// Token kinds.
+const (
+	TokEOF TokenType = iota + 1
+	TokInteger
+	TokReal
+	TokString  // literal or hex string
+	TokName    // name, Value holds decoded body, HadHex set for #xx escapes
+	TokKeyword // obj, endobj, stream, endstream, R, true, false, null, xref, trailer, startxref, f, n
+	TokArrayOpen
+	TokArrayClose
+	TokDictOpen
+	TokDictClose
+)
+
+// Token is one lexical token.
+type Token struct {
+	Type   TokenType
+	Pos    int     // byte offset of the first character
+	Int    int64   // for TokInteger
+	Real   float64 // for TokReal
+	Bytes  []byte  // decoded string bytes for TokString, keyword text for TokKeyword
+	Name   string  // decoded name for TokName
+	HadHex bool    // TokName: used #xx escapes; TokString: was hex syntax
+}
+
+// ErrLex is wrapped by all lexer errors.
+var ErrLex = errors.New("pdf lex error")
+
+// Lexer tokenizes PDF syntax from a byte slice. The zero value is not usable;
+// construct with NewLexer.
+type Lexer struct {
+	src []byte
+	pos int
+
+	// HexNameCount counts names lexed with #xx escapes, feeding static
+	// feature F3.
+	HexNameCount int
+}
+
+// NewLexer returns a lexer over src starting at offset.
+func NewLexer(src []byte, offset int) *Lexer {
+	return &Lexer{src: src, pos: offset}
+}
+
+// Pos returns the current byte offset.
+func (l *Lexer) Pos() int { return l.pos }
+
+// SetPos repositions the lexer.
+func (l *Lexer) SetPos(pos int) {
+	if pos < 0 {
+		pos = 0
+	}
+	if pos > len(l.src) {
+		pos = len(l.src)
+	}
+	l.pos = pos
+}
+
+// Src exposes the underlying buffer (shared, do not mutate).
+func (l *Lexer) Src() []byte { return l.src }
+
+func (l *Lexer) peek() (byte, bool) {
+	if l.pos >= len(l.src) {
+		return 0, false
+	}
+	return l.src[l.pos], true
+}
+
+// skipWS consumes whitespace and comments.
+func (l *Lexer) skipWS() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case isWhitespace(c):
+			l.pos++
+		case c == '%':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' && l.src[l.pos] != '\r' {
+				l.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	l.skipWS()
+	start := l.pos
+	c, ok := l.peek()
+	if !ok {
+		return Token{Type: TokEOF, Pos: start}, nil
+	}
+	switch {
+	case c == '[':
+		l.pos++
+		return Token{Type: TokArrayOpen, Pos: start}, nil
+	case c == ']':
+		l.pos++
+		return Token{Type: TokArrayClose, Pos: start}, nil
+	case c == '<':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '<' {
+			l.pos += 2
+			return Token{Type: TokDictOpen, Pos: start}, nil
+		}
+		return l.lexHexString()
+	case c == '>':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '>' {
+			l.pos += 2
+			return Token{Type: TokDictClose, Pos: start}, nil
+		}
+		return Token{}, fmt.Errorf("%w: stray '>' at %d", ErrLex, start)
+	case c == '(':
+		return l.lexLiteralString()
+	case c == '/':
+		return l.lexName()
+	case c == '+' || c == '-' || c == '.' || (c >= '0' && c <= '9'):
+		return l.lexNumber()
+	case isRegular(c):
+		return l.lexKeyword()
+	default:
+		return Token{}, fmt.Errorf("%w: unexpected byte %#x at %d", ErrLex, c, start)
+	}
+}
+
+func (l *Lexer) lexName() (Token, error) {
+	start := l.pos
+	l.pos++ // consume '/'
+	begin := l.pos
+	for l.pos < len(l.src) && isRegular(l.src[l.pos]) {
+		l.pos++
+	}
+	decoded, hadHex := DecodeName(l.src[begin:l.pos])
+	if hadHex {
+		l.HexNameCount++
+	}
+	return Token{Type: TokName, Pos: start, Name: decoded, HadHex: hadHex}, nil
+}
+
+func (l *Lexer) lexKeyword() (Token, error) {
+	start := l.pos
+	for l.pos < len(l.src) && isRegular(l.src[l.pos]) {
+		l.pos++
+	}
+	return Token{Type: TokKeyword, Pos: start, Bytes: l.src[start:l.pos]}, nil
+}
+
+func (l *Lexer) lexNumber() (Token, error) {
+	start := l.pos
+	sawDot := false
+	if c := l.src[l.pos]; c == '+' || c == '-' {
+		l.pos++
+	}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '.' {
+			if sawDot {
+				break
+			}
+			sawDot = true
+			l.pos++
+			continue
+		}
+		if c < '0' || c > '9' {
+			break
+		}
+		l.pos++
+	}
+	text := string(l.src[start:l.pos])
+	if text == "" || text == "+" || text == "-" || text == "." {
+		return Token{}, fmt.Errorf("%w: malformed number at %d", ErrLex, start)
+	}
+	if sawDot {
+		f, err := parseFloat(text)
+		if err != nil {
+			return Token{}, fmt.Errorf("%w: %v", ErrLex, err)
+		}
+		return Token{Type: TokReal, Pos: start, Real: f}, nil
+	}
+	n, err := parseInt(text)
+	if err != nil {
+		return Token{}, fmt.Errorf("%w: %v", ErrLex, err)
+	}
+	return Token{Type: TokInteger, Pos: start, Int: n}, nil
+}
+
+func parseInt(s string) (int64, error) {
+	var neg bool
+	i := 0
+	if i < len(s) && (s[i] == '+' || s[i] == '-') {
+		neg = s[i] == '-'
+		i++
+	}
+	var n int64
+	for ; i < len(s); i++ {
+		n = n*10 + int64(s[i]-'0')
+	}
+	if neg {
+		n = -n
+	}
+	return n, nil
+}
+
+func parseFloat(s string) (float64, error) {
+	var neg bool
+	i := 0
+	if i < len(s) && (s[i] == '+' || s[i] == '-') {
+		neg = s[i] == '-'
+		i++
+	}
+	var whole, frac float64
+	var fracDiv float64 = 1
+	inFrac := false
+	for ; i < len(s); i++ {
+		c := s[i]
+		if c == '.' {
+			inFrac = true
+			continue
+		}
+		d := float64(c - '0')
+		if inFrac {
+			fracDiv *= 10
+			frac = frac*10 + d
+		} else {
+			whole = whole*10 + d
+		}
+	}
+	f := whole + frac/fracDiv
+	if neg {
+		f = -f
+	}
+	return f, nil
+}
+
+func (l *Lexer) lexHexString() (Token, error) {
+	start := l.pos
+	l.pos++ // consume '<'
+	out := make([]byte, 0, 16)
+	var hi byte
+	var haveHi bool
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '>' {
+			l.pos++
+			if haveHi {
+				out = append(out, hi<<4) // odd final digit: low nibble 0
+			}
+			return Token{Type: TokString, Pos: start, Bytes: out, HadHex: true}, nil
+		}
+		if isWhitespace(c) {
+			l.pos++
+			continue
+		}
+		v, ok := hexVal(c)
+		if !ok {
+			return Token{}, fmt.Errorf("%w: bad hex digit %q at %d", ErrLex, c, l.pos)
+		}
+		if haveHi {
+			out = append(out, hi<<4|v)
+			haveHi = false
+		} else {
+			hi = v
+			haveHi = true
+		}
+		l.pos++
+	}
+	return Token{}, fmt.Errorf("%w: unterminated hex string at %d", ErrLex, start)
+}
+
+func (l *Lexer) lexLiteralString() (Token, error) {
+	start := l.pos
+	l.pos++ // consume '('
+	out := make([]byte, 0, 16)
+	depth := 1
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case '\\':
+			l.pos++
+			if l.pos >= len(l.src) {
+				return Token{}, fmt.Errorf("%w: dangling backslash at %d", ErrLex, l.pos)
+			}
+			e := l.src[l.pos]
+			switch e {
+			case 'n':
+				out = append(out, '\n')
+				l.pos++
+			case 'r':
+				out = append(out, '\r')
+				l.pos++
+			case 't':
+				out = append(out, '\t')
+				l.pos++
+			case 'b':
+				out = append(out, '\b')
+				l.pos++
+			case 'f':
+				out = append(out, '\f')
+				l.pos++
+			case '(', ')', '\\':
+				out = append(out, e)
+				l.pos++
+			case '\r':
+				// Line continuation; swallow optional \n.
+				l.pos++
+				if l.pos < len(l.src) && l.src[l.pos] == '\n' {
+					l.pos++
+				}
+			case '\n':
+				l.pos++
+			default:
+				if e >= '0' && e <= '7' {
+					// Up to three octal digits.
+					v := 0
+					for n := 0; n < 3 && l.pos < len(l.src); n++ {
+						d := l.src[l.pos]
+						if d < '0' || d > '7' {
+							break
+						}
+						v = v*8 + int(d-'0')
+						l.pos++
+					}
+					out = append(out, byte(v))
+				} else {
+					// Unknown escape: backslash is dropped per spec.
+					out = append(out, e)
+					l.pos++
+				}
+			}
+		case '(':
+			depth++
+			out = append(out, c)
+			l.pos++
+		case ')':
+			depth--
+			if depth == 0 {
+				l.pos++
+				return Token{Type: TokString, Pos: start, Bytes: out}, nil
+			}
+			out = append(out, c)
+			l.pos++
+		default:
+			out = append(out, c)
+			l.pos++
+		}
+	}
+	return Token{}, fmt.Errorf("%w: unterminated string at %d", ErrLex, start)
+}

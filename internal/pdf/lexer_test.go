@@ -1,0 +1,213 @@
+package pdf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustTokens(t *testing.T, src string) []Token {
+	t.Helper()
+	lx := NewLexer([]byte(src), 0)
+	var toks []Token
+	for {
+		tok, err := lx.Next()
+		if err != nil {
+			t.Fatalf("lex %q: %v", src, err)
+		}
+		if tok.Type == TokEOF {
+			return toks
+		}
+		toks = append(toks, tok)
+	}
+}
+
+func TestLexerNumbers(t *testing.T) {
+	tests := []struct {
+		src string
+		typ TokenType
+		iv  int64
+		fv  float64
+	}{
+		{"42", TokInteger, 42, 0},
+		{"-17", TokInteger, -17, 0},
+		{"+5", TokInteger, 5, 0},
+		{"0", TokInteger, 0, 0},
+		{"3.14", TokReal, 0, 3.14},
+		{"-0.5", TokReal, 0, -0.5},
+		{".5", TokReal, 0, 0.5},
+		{"4.", TokReal, 0, 4},
+	}
+	for _, tt := range tests {
+		t.Run(tt.src, func(t *testing.T) {
+			toks := mustTokens(t, tt.src)
+			if len(toks) != 1 {
+				t.Fatalf("got %d tokens, want 1", len(toks))
+			}
+			tok := toks[0]
+			if tok.Type != tt.typ {
+				t.Fatalf("type = %v, want %v", tok.Type, tt.typ)
+			}
+			if tt.typ == TokInteger && tok.Int != tt.iv {
+				t.Errorf("int = %d, want %d", tok.Int, tt.iv)
+			}
+			if tt.typ == TokReal && tok.Real != tt.fv {
+				t.Errorf("real = %g, want %g", tok.Real, tt.fv)
+			}
+		})
+	}
+}
+
+func TestLexerLiteralStringEscapes(t *testing.T) {
+	tests := []struct {
+		src  string
+		want string
+	}{
+		{`(hello)`, "hello"},
+		{`(a\(b\)c)`, "a(b)c"},
+		{`(nest (ed) parens)`, "nest (ed) parens"},
+		{`(tab\there)`, "tab\there"},
+		{`(\101\102\103)`, "ABC"},
+		{`(\0)`, "\x00"},
+		{`(back\\slash)`, `back\slash`},
+		{`(unknown \q escape)`, "unknown q escape"},
+		{"(line\\\ncont)", "linecont"},
+	}
+	for _, tt := range tests {
+		toks := mustTokens(t, tt.src)
+		if len(toks) != 1 || toks[0].Type != TokString {
+			t.Fatalf("%q: unexpected tokens %+v", tt.src, toks)
+		}
+		if got := string(toks[0].Bytes); got != tt.want {
+			t.Errorf("%q: got %q, want %q", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestLexerHexString(t *testing.T) {
+	toks := mustTokens(t, "<48 65 6C6C 6F>")
+	if len(toks) != 1 || toks[0].Type != TokString {
+		t.Fatalf("unexpected tokens: %+v", toks)
+	}
+	if got := string(toks[0].Bytes); got != "Hello" {
+		t.Errorf("got %q, want Hello", got)
+	}
+	if !toks[0].HadHex {
+		t.Error("HadHex not set for hex string")
+	}
+	// Odd number of digits pads the low nibble with zero.
+	toks = mustTokens(t, "<41424>")
+	if got := string(toks[0].Bytes); got != "AB@" {
+		t.Errorf("odd hex: got %q, want AB@", got)
+	}
+}
+
+func TestLexerNameHexEscapes(t *testing.T) {
+	lx := NewLexer([]byte("/JavaScr#69pt /Plain /A#42"), 0)
+	var names []Token
+	for {
+		tok, err := lx.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tok.Type == TokEOF {
+			break
+		}
+		names = append(names, tok)
+	}
+	if len(names) != 3 {
+		t.Fatalf("got %d names", len(names))
+	}
+	if names[0].Name != "JavaScript" || !names[0].HadHex {
+		t.Errorf("first name = %q hadHex=%v", names[0].Name, names[0].HadHex)
+	}
+	if names[1].Name != "Plain" || names[1].HadHex {
+		t.Errorf("second name = %q hadHex=%v", names[1].Name, names[1].HadHex)
+	}
+	if names[2].Name != "AB" || !names[2].HadHex {
+		t.Errorf("third name = %q hadHex=%v", names[2].Name, names[2].HadHex)
+	}
+	if lx.HexNameCount != 2 {
+		t.Errorf("HexNameCount = %d, want 2", lx.HexNameCount)
+	}
+}
+
+func TestLexerMultiHashEscape(t *testing.T) {
+	// The wild form /JavaScr##69pt: consecutive '#' collapse.
+	got, hadHex := DecodeName([]byte("JavaScr##69pt"))
+	if got != "JavaScr#ipt" && got != "JavaScript" {
+		// Only the final '#' starts the escape; preceding ones are literal.
+		t.Logf("decoded: %q", got)
+	}
+	if !hadHex {
+		t.Error("hadHex = false, want true")
+	}
+}
+
+func TestLexerCommentsAndWhitespace(t *testing.T) {
+	toks := mustTokens(t, "% a comment\n 7 % another\r\n true")
+	if len(toks) != 2 {
+		t.Fatalf("got %d tokens, want 2", len(toks))
+	}
+	if toks[0].Type != TokInteger || toks[0].Int != 7 {
+		t.Errorf("tok0 = %+v", toks[0])
+	}
+	if toks[1].Type != TokKeyword || string(toks[1].Bytes) != "true" {
+		t.Errorf("tok1 = %+v", toks[1])
+	}
+}
+
+func TestLexerDelimiters(t *testing.T) {
+	toks := mustTokens(t, "[<</K 1>>]")
+	wantTypes := []TokenType{TokArrayOpen, TokDictOpen, TokName, TokInteger, TokDictClose, TokArrayClose}
+	if len(toks) != len(wantTypes) {
+		t.Fatalf("got %d tokens, want %d: %+v", len(toks), len(wantTypes), toks)
+	}
+	for i, w := range wantTypes {
+		if toks[i].Type != w {
+			t.Errorf("tok[%d].Type = %v, want %v", i, toks[i].Type, w)
+		}
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	for _, src := range []string{"(unterminated", "<4G>", "<unterm", ">"} {
+		lx := NewLexer([]byte(src), 0)
+		if _, err := lx.Next(); err == nil {
+			t.Errorf("%q: expected error", src)
+		}
+	}
+}
+
+func TestNameRoundTripProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		// Build a printable-ish name from arbitrary bytes, skipping NUL
+		// (unrepresentable per spec).
+		name := make([]byte, 0, len(raw))
+		for _, c := range raw {
+			if c != 0 {
+				name = append(name, c)
+			}
+		}
+		enc := EncodeName(string(name), false)
+		dec, _ := DecodeName(enc[1:])
+		return dec == string(name)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringEncodeRoundTripProperty(t *testing.T) {
+	f := func(val []byte, hex bool) bool {
+		enc := encodeString(String{Value: val, Hex: hex})
+		lx := NewLexer(enc, 0)
+		tok, err := lx.Next()
+		if err != nil || tok.Type != TokString {
+			return false
+		}
+		return string(tok.Bytes) == string(val)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,175 @@
+package pdf
+
+import (
+	"fmt"
+)
+
+// PDF's LZWDecode is the TIFF variant: MSB-first bit packing, 8-bit
+// literals, clear code 256, EOD 257, and "early change" (the code width
+// grows one entry before the table actually fills). The stdlib compress/lzw
+// does not implement early change, so the codec is written from scratch.
+
+const (
+	lzwClear    = 256
+	lzwEOD      = 257
+	lzwFirst    = 258
+	lzwMaxWidth = 12
+)
+
+type bitReader struct {
+	data []byte
+	pos  int // bit position
+}
+
+func (br *bitReader) read(width int) (int, bool) {
+	v := 0
+	for i := 0; i < width; i++ {
+		byteIdx := br.pos >> 3
+		if byteIdx >= len(br.data) {
+			return 0, false
+		}
+		bit := (br.data[byteIdx] >> (7 - uint(br.pos&7))) & 1
+		v = v<<1 | int(bit)
+		br.pos++
+	}
+	return v, true
+}
+
+type bitWriter struct {
+	out []byte
+	cur byte
+	n   int
+}
+
+func (bw *bitWriter) write(code, width int) {
+	for i := width - 1; i >= 0; i-- {
+		bit := byte((code >> uint(i)) & 1)
+		bw.cur = bw.cur<<1 | bit
+		bw.n++
+		if bw.n == 8 {
+			bw.out = append(bw.out, bw.cur)
+			bw.cur, bw.n = 0, 0
+		}
+	}
+}
+
+func (bw *bitWriter) flush() {
+	if bw.n > 0 {
+		bw.out = append(bw.out, bw.cur<<(8-uint(bw.n)))
+		bw.cur, bw.n = 0, 0
+	}
+}
+
+func lzwDecode(data []byte) ([]byte, error) {
+	br := &bitReader{data: data}
+	out := make([]byte, 0, len(data)*3)
+
+	var table [][]byte
+	reset := func() {
+		table = table[:0]
+		for i := 0; i < 256; i++ {
+			table = append(table, []byte{byte(i)})
+		}
+		table = append(table, nil, nil) // clear, EOD placeholders
+	}
+	reset()
+	width := 9
+	var prev []byte
+
+	for {
+		code, ok := br.read(width)
+		if !ok {
+			// Streams missing an explicit EOD are accepted leniently.
+			return out, nil
+		}
+		switch {
+		case code == lzwClear:
+			reset()
+			width = 9
+			prev = nil
+			continue
+		case code == lzwEOD:
+			return out, nil
+		}
+
+		var entry []byte
+		switch {
+		case code < len(table) && table[code] != nil:
+			entry = table[code]
+		case code == len(table) && prev != nil:
+			entry = append(append([]byte{}, prev...), prev[0])
+		default:
+			return nil, fmt.Errorf("%w: lzw: invalid code %d (table %d)", ErrFilter, code, len(table))
+		}
+		out = append(out, entry...)
+		if len(out) > maxDecodedSize {
+			return nil, fmt.Errorf("%w: lzw output exceeds %d bytes", ErrFilter, maxDecodedSize)
+		}
+		if prev != nil {
+			ne := append(append(make([]byte, 0, len(prev)+1), prev...), entry[0])
+			table = append(table, ne)
+			// Early change with the standard decoder lag: the decoder's
+			// table is one entry behind the encoder's, so it widens at
+			// 2^width-2 where the encoder widens at 2^width-1.
+			if len(table) >= (1<<uint(width))-2 && width < lzwMaxWidth {
+				width++
+			}
+		}
+		prev = entry
+	}
+}
+
+func lzwEncode(data []byte) ([]byte, error) {
+	bw := &bitWriter{out: make([]byte, 0, len(data)/2+8)}
+
+	dict := make(map[string]int, 4096)
+	reset := func() {
+		for k := range dict {
+			delete(dict, k)
+		}
+		for i := 0; i < 256; i++ {
+			dict[string([]byte{byte(i)})] = i
+		}
+	}
+	reset()
+	next := lzwFirst
+	width := 9
+
+	bw.write(lzwClear, width)
+	var cur []byte
+	for _, c := range data {
+		ext := append(cur, c)
+		if _, ok := dict[string(ext)]; ok {
+			cur = ext
+			continue
+		}
+		bw.write(dict[string(cur)], width)
+		dict[string(ext)] = next
+		next++
+		// Early change, mirroring the decoder: widen one entry before the
+		// table fills; clear before code 4095 would be assigned.
+		switch {
+		case next >= (1<<lzwMaxWidth)-1:
+			bw.write(lzwClear, width)
+			reset()
+			next = lzwFirst
+			width = 9
+		case next >= (1<<uint(width))-1:
+			width++
+		}
+		cur = []byte{c}
+	}
+	if len(cur) > 0 {
+		bw.write(dict[string(cur)], width)
+		// The decoder grows its table after every code, including the last
+		// data code, so account for that phantom entry before choosing the
+		// EOD width.
+		next++
+		if next >= (1<<uint(width))-1 && width < lzwMaxWidth {
+			width++
+		}
+	}
+	bw.write(lzwEOD, width)
+	bw.flush()
+	return bw.out, nil
+}

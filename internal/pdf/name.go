@@ -1,0 +1,130 @@
+package pdf
+
+import (
+	"fmt"
+)
+
+// isRegular reports whether c is a PDF "regular" character: not whitespace
+// and not a delimiter.
+func isRegular(c byte) bool {
+	return !isWhitespace(c) && !isDelimiter(c)
+}
+
+func isWhitespace(c byte) bool {
+	switch c {
+	case 0x00, 0x09, 0x0a, 0x0c, 0x0d, 0x20:
+		return true
+	}
+	return false
+}
+
+func isDelimiter(c byte) bool {
+	switch c {
+	case '(', ')', '<', '>', '[', ']', '{', '}', '/', '%':
+		return true
+	}
+	return false
+}
+
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10, true
+	}
+	return 0, false
+}
+
+// DecodeName decodes the body of a PDF name token (without the leading
+// slash). PDF allows any character other than NUL to be written as #xx; the
+// paper's static feature F3 counts names that actually use such escapes, so
+// the second return value reports whether at least one valid escape was seen.
+//
+// The PDF spec allows a sequence of one or more '#' before the two hex
+// digits in the obfuscated wild (e.g. /JavaScr##69pt); consecutive '#'
+// collapse so that only the final one starts the escape.
+func DecodeName(raw []byte) (decoded string, hadHex bool) {
+	out := make([]byte, 0, len(raw))
+	for i := 0; i < len(raw); i++ {
+		c := raw[i]
+		if c != '#' {
+			out = append(out, c)
+			continue
+		}
+		// Collapse runs of '#': only the last one can begin an escape.
+		j := i
+		for j+1 < len(raw) && raw[j+1] == '#' {
+			j++
+		}
+		if j+2 < len(raw) {
+			hi, ok1 := hexVal(raw[j+1])
+			lo, ok2 := hexVal(raw[j+2])
+			if ok1 && ok2 && (hi<<4|lo) != 0 {
+				out = append(out, hi<<4|lo)
+				hadHex = true
+				i = j + 2
+				continue
+			}
+		}
+		// Not a valid escape: literal '#'s.
+		for k := i; k <= j; k++ {
+			out = append(out, '#')
+		}
+		i = j
+	}
+	return string(out), hadHex
+}
+
+// EncodeName renders a decoded name in PDF syntax including the leading
+// slash. When obfuscate is true, alphabetic characters are probabilistically
+// hex-escaped by the corpus generator through EncodeNameObfuscated instead;
+// here obfuscate=true escapes nothing extra but is kept for symmetry.
+func EncodeName(name string, obfuscate bool) []byte {
+	_ = obfuscate
+	out := make([]byte, 0, len(name)+1)
+	out = append(out, '/')
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c == '#' || !isRegular(c) || c < 0x21 || c > 0x7e {
+			out = append(out, []byte(fmt.Sprintf("#%02x", c))...)
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// EncodeNameObfuscated renders a name with the characters at the given
+// offsets hex-escaped, reproducing the /JavaScr#69pt trick used by malicious
+// documents. Offsets outside the name are ignored. extraHashes prepends that
+// many additional '#' characters before each escape (some samples in the
+// wild use "##69").
+func EncodeNameObfuscated(name string, offsets []int, extraHashes int) []byte {
+	esc := make(map[int]bool, len(offsets))
+	for _, off := range offsets {
+		if off >= 0 && off < len(name) {
+			esc[off] = true
+		}
+	}
+	out := make([]byte, 0, len(name)*2)
+	out = append(out, '/')
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if esc[i] && c != 0 {
+			for h := 0; h < extraHashes; h++ {
+				out = append(out, '#')
+			}
+			out = append(out, []byte(fmt.Sprintf("#%02x", c))...)
+			continue
+		}
+		if c == '#' || !isRegular(c) || c < 0x21 || c > 0x7e {
+			out = append(out, []byte(fmt.Sprintf("#%02x", c))...)
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}

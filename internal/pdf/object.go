@@ -1,0 +1,319 @@
+// Package pdf implements a from-scratch PDF object model, lexer, parser,
+// writer, and the stream filters needed by the front-end of the system
+// described in "Detecting Malicious Javascript in PDF through Document
+// Instrumentation" (DSN 2014).
+//
+// The package is deliberately tolerant: malicious documents in the wild are
+// frequently malformed, so the parser has both a strict xref-driven mode and
+// a lenient scavenging mode that recovers indirect objects by scanning for
+// "N G obj" markers, mirroring the behaviour of real readers.
+package pdf
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Object is the interface implemented by every PDF object kind.
+//
+// The concrete kinds are Null, Boolean, Integer, Real, String, Name, Array,
+// Dict, Ref and Stream. All are value types except Stream and Dict (Dict is
+// a map). Callers that need to mutate shared structure should Clone first.
+type Object interface {
+	// Kind reports the object kind, mostly useful for diagnostics.
+	Kind() Kind
+}
+
+// Kind enumerates PDF object kinds.
+type Kind int
+
+// Object kinds. Following the style guide, the enum starts at one so the
+// zero value is distinguishable as "no kind".
+const (
+	KindNull Kind = iota + 1
+	KindBoolean
+	KindInteger
+	KindReal
+	KindString
+	KindName
+	KindArray
+	KindDict
+	KindStream
+	KindRef
+)
+
+var kindNames = map[Kind]string{
+	KindNull:    "null",
+	KindBoolean: "boolean",
+	KindInteger: "integer",
+	KindReal:    "real",
+	KindString:  "string",
+	KindName:    "name",
+	KindArray:   "array",
+	KindDict:    "dict",
+	KindStream:  "stream",
+	KindRef:     "ref",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return "kind(" + strconv.Itoa(int(k)) + ")"
+}
+
+// Null is the PDF null object.
+type Null struct{}
+
+// Kind implements Object.
+func (Null) Kind() Kind { return KindNull }
+
+// Boolean is a PDF boolean.
+type Boolean bool
+
+// Kind implements Object.
+func (Boolean) Kind() Kind { return KindBoolean }
+
+// Integer is a PDF integer.
+type Integer int64
+
+// Kind implements Object.
+func (Integer) Kind() Kind { return KindInteger }
+
+// Real is a PDF real number.
+type Real float64
+
+// Kind implements Object.
+func (Real) Kind() Kind { return KindReal }
+
+// String is a PDF string object. Value holds the decoded bytes; Hex records
+// whether the source used hexadecimal <...> syntax, which the writer
+// preserves so instrumented documents stay close to their original form.
+type String struct {
+	Value []byte
+	Hex   bool
+}
+
+// Kind implements Object.
+func (String) Kind() Kind { return KindString }
+
+// Text returns the string bytes as a Go string.
+func (s String) Text() string { return string(s.Value) }
+
+// Name is a PDF name object with all #xx escapes already decoded.
+// Use NameHadHex (tracked by the parser per document) for the static
+// feature that counts hex-obfuscated keywords.
+type Name string
+
+// Kind implements Object.
+func (Name) Kind() Kind { return KindName }
+
+// Array is a PDF array.
+type Array []Object
+
+// Kind implements Object.
+func (Array) Kind() Kind { return KindArray }
+
+// Dict is a PDF dictionary. Keys are decoded names.
+type Dict map[Name]Object
+
+// Kind implements Object.
+func (Dict) Kind() Kind { return KindDict }
+
+// Get returns the value for key, or nil when absent.
+func (d Dict) Get(key Name) Object {
+	if d == nil {
+		return nil
+	}
+	return d[key]
+}
+
+// SortedKeys returns the dictionary keys in lexical order so that
+// serialization is deterministic.
+func (d Dict) SortedKeys() []Name {
+	keys := make([]Name, 0, len(d))
+	for k := range d {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// Clone returns a shallow copy of the dictionary.
+func (d Dict) Clone() Dict {
+	out := make(Dict, len(d))
+	for k, v := range d {
+		out[k] = v
+	}
+	return out
+}
+
+// Ref is an indirect reference "N G R".
+type Ref struct {
+	Num int
+	Gen int
+}
+
+// Kind implements Object.
+func (Ref) Kind() Kind { return KindRef }
+
+func (r Ref) String() string {
+	return strconv.Itoa(r.Num) + " " + strconv.Itoa(r.Gen) + " R"
+}
+
+// Stream is a PDF stream: a dictionary plus raw (still encoded) bytes.
+type Stream struct {
+	Dict Dict
+	// Raw holds the bytes exactly as stored in the file, i.e. after any
+	// /Filter encodings have been applied.
+	Raw []byte
+}
+
+// Kind implements Object.
+func (*Stream) Kind() Kind { return KindStream }
+
+// Filters returns the filter chain declared in the stream dictionary, outermost
+// first (the order in which Decode must run).
+func (s *Stream) Filters() []Name {
+	return filterNames(s.Dict.Get("Filter"))
+}
+
+func filterNames(obj Object) []Name {
+	switch v := obj.(type) {
+	case Name:
+		return []Name{v}
+	case Array:
+		out := make([]Name, 0, len(v))
+		for _, el := range v {
+			if n, ok := el.(Name); ok {
+				out = append(out, n)
+			}
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// IndirectObject pairs an object number with its body.
+type IndirectObject struct {
+	Num    int
+	Gen    int
+	Object Object
+}
+
+// Ref returns the reference that points at the indirect object.
+func (io IndirectObject) Ref() Ref { return Ref{Num: io.Num, Gen: io.Gen} }
+
+// FormatObject renders an object in PDF syntax. It is primarily a debugging
+// and test aid; the Writer is the canonical serializer.
+func FormatObject(obj Object) string {
+	var b strings.Builder
+	writeObjectTo(&b, obj)
+	return b.String()
+}
+
+func writeObjectTo(b *strings.Builder, obj Object) {
+	switch v := obj.(type) {
+	case nil, Null:
+		b.WriteString("null")
+	case Boolean:
+		if v {
+			b.WriteString("true")
+		} else {
+			b.WriteString("false")
+		}
+	case Integer:
+		b.WriteString(strconv.FormatInt(int64(v), 10))
+	case Real:
+		b.WriteString(formatReal(float64(v)))
+	case String:
+		b.Write(encodeString(v))
+	case Name:
+		b.Write(EncodeName(string(v), false))
+	case Array:
+		b.WriteByte('[')
+		for i, el := range v {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			writeObjectTo(b, el)
+		}
+		b.WriteByte(']')
+	case Dict:
+		writeDictTo(b, v)
+	case *Stream:
+		writeDictTo(b, v.Dict)
+		b.WriteString(" stream...endstream")
+	case Ref:
+		b.WriteString(v.String())
+	default:
+		fmt.Fprintf(b, "?%T?", obj)
+	}
+}
+
+func writeDictTo(b *strings.Builder, d Dict) {
+	b.WriteString("<<")
+	for i, k := range d.SortedKeys() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.Write(EncodeName(string(k), false))
+		b.WriteByte(' ')
+		writeObjectTo(b, d[k])
+	}
+	b.WriteString(">>")
+}
+
+// formatReal renders a real the way PDF expects: plain decimal, no exponent.
+func formatReal(f float64) string {
+	if math.IsInf(f, 0) || math.IsNaN(f) {
+		return "0"
+	}
+	s := strconv.FormatFloat(f, 'f', -1, 64)
+	return s
+}
+
+// encodeString renders a PDF string literal. Hex strings use <..> syntax,
+// literal strings escape the PDF delimiter set.
+func encodeString(s String) []byte {
+	if s.Hex {
+		const hexdig = "0123456789abcdef"
+		out := make([]byte, 0, len(s.Value)*2+2)
+		out = append(out, '<')
+		for _, c := range s.Value {
+			out = append(out, hexdig[c>>4], hexdig[c&0xf])
+		}
+		out = append(out, '>')
+		return out
+	}
+	out := make([]byte, 0, len(s.Value)+2)
+	out = append(out, '(')
+	for _, c := range s.Value {
+		switch c {
+		case '(', ')', '\\':
+			out = append(out, '\\', c)
+		case '\n':
+			out = append(out, '\\', 'n')
+		case '\r':
+			out = append(out, '\\', 'r')
+		case '\t':
+			out = append(out, '\\', 't')
+		default:
+			out = append(out, c)
+		}
+	}
+	out = append(out, ')')
+	return out
+}
+
+// IsJavaScriptKey reports whether a dictionary key marks Javascript content
+// per the paper's chain-location step (/JS and /JavaScript).
+func IsJavaScriptKey(n Name) bool { return n == "JS" || n == "JavaScript" }
+
+// TriggerKeys are the dictionary keys whose presence associates a chain with
+// a triggering action; only chains reachable from these are instrumented.
+var TriggerKeys = []Name{"OpenAction", "AA", "Names", "Next"}

@@ -1,0 +1,241 @@
+package pdf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// buildSimpleDoc constructs a minimal document: catalog -> pages -> page,
+// plus an OpenAction Javascript action whose code lives in a Flate stream.
+func buildSimpleDoc(t *testing.T, script string) *Document {
+	t.Helper()
+	d := NewDocument()
+	raw, filterObj, err := EncodeChain([]Name{FilterFlate}, []byte(script))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsData := d.Add(&Stream{Dict: Dict{"Filter": filterObj}, Raw: raw})
+	action := d.Add(Dict{"Type": Name("Action"), "S": Name("JavaScript"), "JS": jsData})
+	page := d.Add(Dict{"Type": Name("Page")})
+	pages := d.Add(Dict{"Type": Name("Pages"), "Kids": Array{page}, "Count": Integer(1)})
+	catalog := d.Add(Dict{
+		"Type":       Name("Catalog"),
+		"Pages":      pages,
+		"OpenAction": action,
+	})
+	d.Trailer["Root"] = catalog
+	return d
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	d := buildSimpleDoc(t, "app.alert('x');")
+	data, err := Write(d, WriteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(data, []byte("%PDF-1.7")) {
+		t.Errorf("missing header: %q", data[:16])
+	}
+	parsed, err := Parse(data, ParseOptions{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Len() != d.Len() {
+		t.Errorf("object count = %d, want %d", parsed.Len(), d.Len())
+	}
+	if parsed.Recovered {
+		t.Error("well-formed document should not need recovery")
+	}
+	if parsed.Header.Obfuscated() {
+		t.Error("header should not be obfuscated")
+	}
+	cat, err := parsed.Catalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ, _ := cat.Get("Type").(Name); typ != "Catalog" {
+		t.Errorf("catalog type = %q", typ)
+	}
+	cs, err := ReconstructChains(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs.Chains) != 1 {
+		t.Fatalf("chains = %d, want 1", len(cs.Chains))
+	}
+	if cs.Chains[0].Source != "app.alert('x');" {
+		t.Errorf("script = %q", cs.Chains[0].Source)
+	}
+}
+
+func TestParseHeaderVariants(t *testing.T) {
+	tests := []struct {
+		name       string
+		opts       WriteOptions
+		obfuscated bool
+		offsetZero bool
+	}{
+		{"clean", WriteOptions{}, false, true},
+		{"junk prefix", WriteOptions{HeaderJunk: []byte("GIF89a junk junk\n")}, true, false},
+		{"bad version", WriteOptions{Version: "9.9"}, true, true},
+		{"no header", WriteOptions{OmitHeader: true}, true, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			d := buildSimpleDoc(t, "1;")
+			data, err := Write(d, tt.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parsed, err := Parse(data, ParseOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := parsed.Header.Obfuscated(); got != tt.obfuscated {
+				t.Errorf("Obfuscated() = %v, want %v (header %+v)", got, tt.obfuscated, parsed.Header)
+			}
+			if tt.offsetZero != (parsed.Header.Offset == 0) {
+				t.Errorf("offset = %d", parsed.Header.Offset)
+			}
+		})
+	}
+}
+
+func TestParseLenientRecoversBrokenXref(t *testing.T) {
+	d := buildSimpleDoc(t, "var a=1;")
+	data, err := Write(d, WriteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the startxref offset.
+	idx := bytes.LastIndex(data, []byte("startxref"))
+	broken := append([]byte{}, data...)
+	copy(broken[idx+10:], []byte("99999999"))
+
+	if _, err := Parse(broken, ParseOptions{Strict: true}); err == nil {
+		t.Fatal("strict parse should fail on broken xref")
+	}
+	parsed, err := Parse(broken, ParseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !parsed.Recovered {
+		t.Error("expected Recovered flag")
+	}
+	if parsed.Len() != d.Len() {
+		t.Errorf("recovered %d objects, want %d", parsed.Len(), d.Len())
+	}
+	if _, err := parsed.Catalog(); err != nil {
+		t.Errorf("catalog after recovery: %v", err)
+	}
+}
+
+func TestParseLyingStreamLength(t *testing.T) {
+	// Hand-written document whose /Length is wrong; the parser must fall
+	// back to endstream search.
+	src := strings.Join([]string{
+		"%PDF-1.4",
+		"1 0 obj",
+		"<< /Length 3 >>",
+		"stream",
+		"this stream is much longer than three bytes",
+		"endstream",
+		"endobj",
+		"2 0 obj",
+		"<< /Type /Catalog >>",
+		"endobj",
+		"trailer",
+		"<< /Root 2 0 R >>",
+	}, "\n")
+	parsed, err := Parse([]byte(src), ParseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, ok := parsed.Get(1)
+	if !ok {
+		t.Fatal("object 1 missing")
+	}
+	s, ok := obj.Object.(*Stream)
+	if !ok {
+		t.Fatalf("object 1 is %T", obj.Object)
+	}
+	if string(s.Raw) != "this stream is much longer than three bytes" {
+		t.Errorf("stream body = %q", s.Raw)
+	}
+}
+
+func TestParseEmptyAndGarbage(t *testing.T) {
+	for _, src := range []string{"", "not a pdf at all", "%PDF-1.5\nnothing else"} {
+		if _, err := Parse([]byte(src), ParseOptions{}); err == nil {
+			t.Errorf("%q: expected parse failure", src)
+		}
+	}
+}
+
+func TestParseReferenceAndLoopResolution(t *testing.T) {
+	d := NewDocument()
+	// Object 1 refs object 2 which refs object 1: a loop.
+	d.Put(IndirectObject{Num: 1, Object: Ref{Num: 2}})
+	d.Put(IndirectObject{Num: 2, Object: Ref{Num: 1}})
+	if _, isNull := d.Resolve(Ref{Num: 1}).(Null); !isNull {
+		t.Error("reference loop should resolve to Null")
+	}
+	if _, isNull := d.Resolve(Ref{Num: 99}).(Null); !isNull {
+		t.Error("dangling reference should resolve to Null")
+	}
+}
+
+func TestParsePreservesHexNameCount(t *testing.T) {
+	d := buildSimpleDoc(t, "x;")
+	data, err := Write(d, WriteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Splice an obfuscated name into the document by rewriting /JS.
+	data = bytes.Replace(data, []byte("/JS "), []byte("/J#53 "), 1)
+	parsed, err := Parse(data, ParseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.HexNameCount == 0 {
+		t.Error("HexNameCount = 0, want > 0")
+	}
+	cs, err := ReconstructChains(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs.Chains) != 1 {
+		t.Fatalf("obfuscated /JS key not found: %d chains", len(cs.Chains))
+	}
+}
+
+func TestWriterXrefOffsetsAreExact(t *testing.T) {
+	d := buildSimpleDoc(t, "var q = 'test';")
+	data, err := Write(d, WriteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := Parse(data, ParseOptions{Strict: true})
+	if err != nil {
+		t.Fatalf("strict parse (validates xref offsets): %v", err)
+	}
+	for _, num := range d.Numbers() {
+		if _, ok := parsed.Get(num); !ok {
+			t.Errorf("object %d missing after round trip", num)
+		}
+	}
+}
+
+func TestCountEmptyObjects(t *testing.T) {
+	d := buildSimpleDoc(t, "x")
+	if got := d.CountEmptyObjects(); got != 0 {
+		t.Fatalf("empty objects = %d, want 0", got)
+	}
+	d.Add(Dict{})
+	d.Add(Null{})
+	d.Add(Array{})
+	if got := d.CountEmptyObjects(); got != 3 {
+		t.Errorf("empty objects = %d, want 3", got)
+	}
+}

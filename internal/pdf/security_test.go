@@ -1,0 +1,105 @@
+package pdf
+
+import (
+	"testing"
+)
+
+func TestEncryptOwnerAndRemove(t *testing.T) {
+	d := buildSimpleDoc(t, "app.alert('secret');")
+	if err := EncryptOwner(d, "owner-pass"); err != nil {
+		t.Fatal(err)
+	}
+	if !d.IsEncrypted() {
+		t.Fatal("document should report encrypted")
+	}
+
+	// Chains must be unreadable while encrypted (the script bytes are RC4'd
+	// so the Flate layer fails or decodes to junk).
+	cs, err := ReconstructChains(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs.Chains) == 1 && cs.Chains[0].Source == "app.alert('secret');" {
+		t.Error("script should not be readable before password removal")
+	}
+
+	if err := RemoveOwnerPassword(d); err != nil {
+		t.Fatal(err)
+	}
+	if d.IsEncrypted() {
+		t.Error("encryption survived removal")
+	}
+	cs, err = ReconstructChains(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs.Chains) != 1 {
+		t.Fatalf("chains = %d", len(cs.Chains))
+	}
+	if cs.Chains[0].Source != "app.alert('secret');" {
+		t.Errorf("recovered script = %q", cs.Chains[0].Source)
+	}
+}
+
+func TestEncryptOwnerRoundTripThroughBytes(t *testing.T) {
+	d := buildSimpleDoc(t, "var v = 42;")
+	if err := EncryptOwner(d, "pw"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := Write(d, WriteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := Parse(data, ParseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !parsed.IsEncrypted() {
+		t.Fatal("parsed document should be encrypted")
+	}
+	if err := RemoveOwnerPassword(parsed); err != nil {
+		t.Fatal(err)
+	}
+	cs, err := ReconstructChains(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs.Chains) != 1 || cs.Chains[0].Source != "var v = 42;" {
+		t.Errorf("chains after byte round trip = %+v", cs.Chains)
+	}
+}
+
+func TestRemoveOwnerPasswordOnPlainDocIsNoop(t *testing.T) {
+	d := buildSimpleDoc(t, "x")
+	if err := RemoveOwnerPassword(d); err != nil {
+		t.Fatal(err)
+	}
+	if d.IsEncrypted() {
+		t.Error("plain document became encrypted?")
+	}
+}
+
+func TestDoubleEncryptRejected(t *testing.T) {
+	d := buildSimpleDoc(t, "x")
+	if err := EncryptOwner(d, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncryptOwner(d, "b"); err == nil {
+		t.Error("double encryption should fail")
+	}
+}
+
+func TestRemoveRejectsUserPassword(t *testing.T) {
+	d := buildSimpleDoc(t, "x")
+	if err := EncryptOwner(d, "pw"); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt /U so the empty-user-password check fails, simulating a doc
+	// that genuinely needs a user password.
+	enc, _ := d.ResolveDict(d.Trailer.Get("Encrypt"))
+	u := enc.Get("U").(String)
+	u.Value[0] ^= 0xff
+	if err := RemoveOwnerPassword(d); err == nil {
+		t.Error("expected user-password-required error")
+	}
+}

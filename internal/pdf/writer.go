@@ -1,0 +1,201 @@
+package pdf
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+)
+
+// WriteOptions tunes serialization.
+type WriteOptions struct {
+	// HeaderJunk is prepended before the %PDF- header (header obfuscation
+	// for the corpus generator). Must be shorter than the 1024-byte window
+	// for the file to remain openable.
+	HeaderJunk []byte
+	// Version overrides the header version string (e.g. "1.7"); when the
+	// document header carries a version it is used by default.
+	Version string
+	// OmitHeader drops the %PDF- line entirely (aggressive obfuscation).
+	OmitHeader bool
+	// BinaryComment emits the conventional binary-marker comment line.
+	BinaryComment bool
+}
+
+// Write serializes the document with a classic cross-reference table.
+// Stream /Length entries are recomputed. Object numbers are preserved.
+func Write(d *Document, opts WriteOptions) ([]byte, error) {
+	var buf bytes.Buffer
+	if len(opts.HeaderJunk) > 0 {
+		buf.Write(opts.HeaderJunk)
+	}
+	if !opts.OmitHeader {
+		version := opts.Version
+		if version == "" {
+			version = d.Header.Version
+		}
+		if version == "" {
+			version = "1.7"
+		}
+		buf.WriteString("%PDF-")
+		buf.WriteString(version)
+		buf.WriteByte('\n')
+		if opts.BinaryComment {
+			buf.Write([]byte{'%', 0xe2, 0xe3, 0xcf, 0xd3, '\n'})
+		}
+	}
+
+	nums := d.Numbers()
+	offsets := make(map[int]int, len(nums))
+	for _, num := range nums {
+		obj := d.objects[num]
+		offsets[num] = buf.Len()
+		buf.WriteString(strconv.Itoa(num))
+		buf.WriteByte(' ')
+		buf.WriteString(strconv.Itoa(obj.Gen))
+		buf.WriteString(" obj\n")
+		if err := writeBody(&buf, obj.Object); err != nil {
+			return nil, fmt.Errorf("object %d: %w", num, err)
+		}
+		buf.WriteString("\nendobj\n")
+	}
+
+	xrefOff := buf.Len()
+	writeXref(&buf, nums, offsets)
+
+	trailer := d.Trailer
+	if trailer == nil {
+		trailer = Dict{}
+	}
+	trailer = trailer.Clone()
+	trailer["Size"] = Integer(d.maxNum + 1)
+	delete(trailer, "Prev")
+	buf.WriteString("trailer\n")
+	var tb bytes.Buffer
+	if err := writeBody(&tb, trailer); err != nil {
+		return nil, fmt.Errorf("trailer: %w", err)
+	}
+	buf.Write(tb.Bytes())
+	buf.WriteString("\nstartxref\n")
+	buf.WriteString(strconv.Itoa(xrefOff))
+	buf.WriteString("\n%%EOF\n")
+	return buf.Bytes(), nil
+}
+
+// writeXref emits xref subsections, coalescing contiguous object numbers.
+func writeXref(buf *bytes.Buffer, nums []int, offsets map[int]int) {
+	buf.WriteString("xref\n")
+	buf.WriteString("0 1\n")
+	buf.WriteString("0000000000 65535 f \n")
+	i := 0
+	for i < len(nums) {
+		j := i
+		for j+1 < len(nums) && nums[j+1] == nums[j]+1 {
+			j++
+		}
+		fmt.Fprintf(buf, "%d %d\n", nums[i], j-i+1)
+		for k := i; k <= j; k++ {
+			fmt.Fprintf(buf, "%010d %05d n \n", offsets[nums[k]], 0)
+		}
+		i = j + 1
+	}
+}
+
+func writeBody(buf *bytes.Buffer, obj Object) error {
+	switch v := obj.(type) {
+	case *Stream:
+		dict := v.Dict.Clone()
+		dict["Length"] = Integer(len(v.Raw))
+		writeValue(buf, dict)
+		buf.WriteString("\nstream\n")
+		buf.Write(v.Raw)
+		buf.WriteString("\nendstream")
+		return nil
+	default:
+		writeValue(buf, obj)
+		return nil
+	}
+}
+
+func writeValue(buf *bytes.Buffer, obj Object) {
+	switch v := obj.(type) {
+	case nil, Null:
+		buf.WriteString("null")
+	case Boolean:
+		if v {
+			buf.WriteString("true")
+		} else {
+			buf.WriteString("false")
+		}
+	case Integer:
+		buf.WriteString(strconv.FormatInt(int64(v), 10))
+	case Real:
+		buf.WriteString(formatReal(float64(v)))
+	case String:
+		buf.Write(encodeString(v))
+	case Name:
+		buf.Write(EncodeName(string(v), false))
+	case ObfuscatedName:
+		buf.Write(EncodeNameObfuscated(v.Value, v.EscapeOffsets, v.ExtraHashes))
+	case Array:
+		buf.WriteByte('[')
+		for i, el := range v {
+			if i > 0 {
+				buf.WriteByte(' ')
+			}
+			writeValue(buf, el)
+		}
+		buf.WriteByte(']')
+	case Dict:
+		buf.WriteString("<< ")
+		for _, k := range v.SortedKeys() {
+			buf.Write(EncodeName(string(k), false))
+			buf.WriteByte(' ')
+			writeValue(buf, v[k])
+			buf.WriteByte(' ')
+		}
+		buf.WriteString(">>")
+	case ObfuscatedDict:
+		buf.WriteString("<< ")
+		for _, entry := range v.Entries {
+			buf.Write(EncodeNameObfuscated(entry.Key, entry.EscapeOffsets, entry.ExtraHashes))
+			buf.WriteByte(' ')
+			writeValue(buf, entry.Value)
+			buf.WriteByte(' ')
+		}
+		buf.WriteString(">>")
+	case Ref:
+		buf.WriteString(v.String())
+	default:
+		fmt.Fprintf(buf, "%%unknown %T", obj)
+	}
+}
+
+// ObfuscatedName is a name that serializes with specific characters
+// hex-escaped (the /JavaScr#69pt trick). It behaves as its decoded Value for
+// all parsing purposes; it exists only on the write path for the corpus
+// generator.
+type ObfuscatedName struct {
+	Value         string
+	EscapeOffsets []int
+	ExtraHashes   int
+}
+
+// Kind implements Object.
+func (ObfuscatedName) Kind() Kind { return KindName }
+
+// ObfuscatedDictEntry is one key/value pair with write-time key escaping.
+type ObfuscatedDictEntry struct {
+	Key           string
+	EscapeOffsets []int
+	ExtraHashes   int
+	Value         Object
+}
+
+// ObfuscatedDict is a dictionary that serializes selected keys with hex
+// escapes and preserves entry order. Write-path only.
+type ObfuscatedDict struct {
+	Entries []ObfuscatedDictEntry
+}
+
+// Kind implements Object.
+func (ObfuscatedDict) Kind() Kind { return KindDict }

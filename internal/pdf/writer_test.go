@@ -1,0 +1,225 @@
+package pdf
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randomObject builds a random PDF object of bounded depth.
+func randomObject(rng *rand.Rand, depth int) Object {
+	if depth <= 0 {
+		switch rng.Intn(5) {
+		case 0:
+			return Null{}
+		case 1:
+			return Boolean(rng.Intn(2) == 0)
+		case 2:
+			return Integer(rng.Int63n(1<<40) - (1 << 39))
+		case 3:
+			return String{Value: randomBytes(rng, 12), Hex: rng.Intn(2) == 0}
+		default:
+			return Name(randomName(rng))
+		}
+	}
+	switch rng.Intn(7) {
+	case 0:
+		n := rng.Intn(4)
+		arr := make(Array, n)
+		for i := range arr {
+			arr[i] = randomObject(rng, depth-1)
+		}
+		return arr
+	case 1:
+		d := Dict{}
+		for i := 0; i < rng.Intn(4); i++ {
+			d[Name(randomName(rng))] = randomObject(rng, depth-1)
+		}
+		return d
+	default:
+		return randomObject(rng, 0)
+	}
+}
+
+func randomBytes(rng *rand.Rand, n int) []byte {
+	out := make([]byte, rng.Intn(n+1))
+	for i := range out {
+		out[i] = byte(rng.Intn(256))
+	}
+	return out
+}
+
+func randomName(rng *rand.Rand) string {
+	const letters = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789#/() "
+	n := 1 + rng.Intn(10)
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = letters[rng.Intn(len(letters))]
+	}
+	return string(out)
+}
+
+// objectsEqual compares two objects structurally, ignoring the Hex flag on
+// strings (a serialization preference, not content).
+func objectsEqual(a, b Object) bool {
+	switch av := a.(type) {
+	case nil, Null:
+		_, ok1 := b.(Null)
+		return ok1 || b == nil
+	case Boolean:
+		bv, ok := b.(Boolean)
+		return ok && av == bv
+	case Integer:
+		bv, ok := b.(Integer)
+		return ok && av == bv
+	case Real:
+		bv, ok := b.(Real)
+		return ok && av == bv
+	case String:
+		bv, ok := b.(String)
+		return ok && bytes.Equal(av.Value, bv.Value)
+	case Name:
+		bv, ok := b.(Name)
+		return ok && av == bv
+	case Array:
+		bv, ok := b.(Array)
+		if !ok || len(av) != len(bv) {
+			return false
+		}
+		for i := range av {
+			if !objectsEqual(av[i], bv[i]) {
+				return false
+			}
+		}
+		return true
+	case Dict:
+		bv, ok := b.(Dict)
+		if !ok || len(av) != len(bv) {
+			return false
+		}
+		for k, v := range av {
+			if !objectsEqual(v, bv[k]) {
+				return false
+			}
+		}
+		return true
+	case *Stream:
+		bv, ok := b.(*Stream)
+		if !ok || !bytes.Equal(av.Raw, bv.Raw) {
+			return false
+		}
+		// The writer recomputes /Length; ignore it on both sides.
+		ad, bd := av.Dict.Clone(), bv.Dict.Clone()
+		delete(ad, "Length")
+		delete(bd, "Length")
+		return objectsEqual(ad, bd)
+	case Ref:
+		bv, ok := b.(Ref)
+		return ok && av == bv
+	default:
+		return reflect.DeepEqual(a, b)
+	}
+}
+
+func TestWriterRandomDocumentRoundTripProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := NewDocument()
+		n := 1 + rng.Intn(12)
+		bodies := make([]Object, n)
+		for i := 0; i < n; i++ {
+			var body Object
+			if rng.Intn(4) == 0 {
+				body = &Stream{
+					Dict: Dict{"K": Integer(int64(i))},
+					Raw:  randomBytes(rng, 64),
+				}
+			} else {
+				body = randomObject(rng, 3)
+			}
+			bodies[i] = body
+			d.Add(body)
+		}
+		catalog := d.Add(Dict{"Type": Name("Catalog")})
+		d.Trailer["Root"] = catalog
+
+		data, err := Write(d, WriteOptions{})
+		if err != nil {
+			return false
+		}
+		parsed, err := Parse(data, ParseOptions{Strict: true})
+		if err != nil {
+			t.Logf("seed %d: parse failed: %v", seed, err)
+			return false
+		}
+		if parsed.Len() != d.Len() {
+			return false
+		}
+		for i, want := range bodies {
+			got, ok := parsed.Get(i + 1)
+			if !ok || !objectsEqual(want, got.Object) {
+				t.Logf("seed %d: object %d mismatch:\nwant %s\ngot  %s",
+					seed, i+1, FormatObject(want), FormatObject(got.Object))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriterStreamWithTrickyBytes(t *testing.T) {
+	// Stream bodies containing "endstream" and "endobj" markers must
+	// survive (the declared /Length guides the parser).
+	body := []byte("xx endstream yy endobj zz stream ww")
+	d := NewDocument()
+	d.Add(&Stream{Dict: Dict{}, Raw: body})
+	d.Trailer["Root"] = d.Add(Dict{"Type": Name("Catalog")})
+	data, err := Write(d, WriteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := Parse(data, ParseOptions{Strict: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, _ := parsed.Get(1)
+	s, ok := obj.Object.(*Stream)
+	if !ok || !bytes.Equal(s.Raw, body) {
+		t.Errorf("stream body corrupted: %q", s.Raw)
+	}
+}
+
+func TestObfuscatedNameWriteParses(t *testing.T) {
+	d := NewDocument()
+	action := d.Add(ObfuscatedDict{Entries: []ObfuscatedDictEntry{
+		{Key: "S", Value: Name("JavaScript")},
+		{Key: "JS", EscapeOffsets: []int{1}, ExtraHashes: 1, Value: String{Value: []byte("x();")}},
+	}})
+	d.Trailer["Root"] = d.Add(Dict{"Type": Name("Catalog"), "OpenAction": action})
+	data, err := Write(d, WriteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte("#")) {
+		t.Fatalf("no hex escape emitted: %s", data)
+	}
+	parsed, err := Parse(data, ParseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.HexNameCount == 0 {
+		t.Error("hex-escaped key not counted")
+	}
+	chains, err := ReconstructChains(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chains.Chains) != 1 || chains.Chains[0].Source != "x();" {
+		t.Errorf("chains = %+v", chains.Chains)
+	}
+}

@@ -1,0 +1,229 @@
+// Package pipeline wires the full system together: the front-end
+// instrumenter, the runtime detector (SOAP + hook servers), and simulated
+// reader processes with the hook DLL dialled into the detector. It is the
+// engine behind the public API, the example programs and the evaluation
+// harness.
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"pdfshield/internal/detect"
+	"pdfshield/internal/hook"
+	"pdfshield/internal/instrument"
+	"pdfshield/internal/reader"
+	"pdfshield/internal/winos"
+)
+
+// Options configures a System.
+type Options struct {
+	// ViewerVersion for reader processes (default 9.0).
+	ViewerVersion float64
+	// Seed makes instrumentation randomization reproducible (0 = time).
+	Seed int64
+	// DetectorID fixes the install identity (default: random).
+	DetectorID string
+	// DownloadsPath persists the JS-context executable list.
+	DownloadsPath string
+	// DeinstrumentBenign restores original scripts after a benign verdict
+	// (§III-F).
+	DeinstrumentBenign bool
+	// W1, W2, Threshold override Table VII parameters (0 = defaults).
+	W1, W2, Threshold int
+	// SpawnHelper makes reader processes emit the benign AdobeARM spawn.
+	SpawnHelper bool
+}
+
+// System is a running instance of the whole protection stack.
+type System struct {
+	Registry     *instrument.Registry
+	Instrumenter *instrument.Instrumenter
+	Detector     *detect.Detector
+	OS           *winos.OS
+
+	opts Options
+}
+
+// NewSystem builds and starts the stack.
+func NewSystem(opts Options) (*System, error) {
+	if opts.ViewerVersion == 0 {
+		opts.ViewerVersion = 9.0
+	}
+	detID := opts.DetectorID
+	if detID == "" {
+		var err error
+		detID, err = instrument.NewDetectorID(nil)
+		if err != nil {
+			return nil, err
+		}
+	}
+	registry := instrument.NewRegistry(detID)
+	osState := winos.NewOS()
+	det, err := detect.New(detect.Config{
+		Registry:      registry,
+		OS:            osState,
+		DownloadsPath: opts.DownloadsPath,
+		W1:            opts.W1,
+		W2:            opts.W2,
+		Threshold:     opts.Threshold,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := det.Start(); err != nil {
+		return nil, err
+	}
+	ins := instrument.New(registry, instrument.Options{
+		Endpoint: det.SOAPURL(),
+		Seed:     opts.Seed,
+	})
+	return &System{
+		Registry:     registry,
+		Instrumenter: ins,
+		Detector:     det,
+		OS:           osState,
+		opts:         opts,
+	}, nil
+}
+
+// Close stops the detector servers.
+func (s *System) Close() error { return s.Detector.Close() }
+
+// Session is one reader process wired to the detector.
+type Session struct {
+	Proc *reader.Process
+	sink *hook.TCPClient
+}
+
+// NewSession starts a reader process whose hook DLL is connected to the
+// detector.
+func (s *System) NewSession() (*Session, error) {
+	sink, err := hook.Dial(s.Detector.HookAddr())
+	if err != nil {
+		return nil, fmt.Errorf("session: %w", err)
+	}
+	proc := reader.NewProcess(reader.Config{
+		ViewerVersion: s.opts.ViewerVersion,
+		Sink:          sink,
+		OS:            s.OS,
+		DetectorSOAP:  s.Detector.SOAPURL(),
+	})
+	return &Session{Proc: proc, sink: sink}, nil
+}
+
+// Open opens an instrumented document in this session's reader process.
+func (sess *Session) Open(res *instrument.Result, opts reader.OpenOptions) (*reader.OpenResult, error) {
+	return sess.Proc.Open(res.DocID, res.Output, opts)
+}
+
+// OpenRaw opens raw (possibly uninstrumented) bytes.
+func (sess *Session) OpenRaw(docID string, raw []byte, opts reader.OpenOptions) (*reader.OpenResult, error) {
+	return sess.Proc.Open(docID, raw, opts)
+}
+
+// Close terminates the reader process and hook connection.
+func (sess *Session) Close() {
+	sess.Proc.Close()
+	_ = sess.sink.Close()
+}
+
+// Verdict is the outcome of processing one document end to end.
+type Verdict struct {
+	DocID string
+	// Malicious reports a detector alert named this document.
+	Malicious bool
+	// Alert is the first alert for this document (nil when benign).
+	Alert *detect.Alert
+	// NoJavaScript reports the document was out of scope (nothing to
+	// instrument or monitor).
+	NoJavaScript bool
+	// Crashed reports the reader process crashed while opening (failed
+	// exploit).
+	Crashed bool
+	// Instrument is the front-end result.
+	Instrument *instrument.Result
+	// Open is the reader result (nil when NoJavaScript short-circuits).
+	Open *reader.OpenResult
+	// Deinstrumented holds restored bytes when DeinstrumentBenign is on
+	// and the verdict is benign.
+	Deinstrumented []byte
+	// FeatureVector is the detector's final 13-feature vector for the
+	// document (present for every instrumented document, benign or not;
+	// used by the ablation experiments).
+	FeatureVector detect.Vector
+	// PeakMemMB and EnterMemMB expose the context-aware memory reading
+	// that fed F8.
+	PeakMemMB, EnterMemMB float64
+}
+
+// ProcessDocument runs the complete workflow on one document: instrument,
+// open in a fresh monitored reader process, and collect the verdict.
+func (s *System) ProcessDocument(docID string, raw []byte) (*Verdict, error) {
+	res, err := s.Instrumenter.InstrumentBytes(docID, raw)
+	if err != nil {
+		if errors.Is(err, instrument.ErrNoJavaScript) {
+			return &Verdict{DocID: docID, NoJavaScript: true, Instrument: res}, nil
+		}
+		return nil, err
+	}
+	v := &Verdict{DocID: docID, Instrument: res}
+
+	sess, err := s.NewSession()
+	if err != nil {
+		return nil, err
+	}
+	openRes, err := sess.Open(res, reader.OpenOptions{SpawnHelper: s.opts.SpawnHelper})
+	if err != nil {
+		sess.Close()
+		return nil, err
+	}
+	// The user opens instrumented attachments too (§VI: embedded and host
+	// behaviours are correlated under the same detector).
+	for _, emb := range res.Embedded {
+		if openRes.Crashed {
+			break
+		}
+		if _, err := sess.OpenRaw(emb.DocID, emb.Output, reader.OpenOptions{}); err != nil {
+			break // crashed attachment ends the session
+		}
+	}
+	sess.Close()
+	v.Open = openRes
+	v.Crashed = openRes.Crashed
+
+	// An alert on the host or on any of its attachments convicts the
+	// document the user received.
+	v.Malicious = s.Detector.IsMalicious(docID)
+	for _, emb := range res.Embedded {
+		if s.Detector.IsMalicious(emb.DocID) {
+			v.Malicious = true
+		}
+	}
+	for _, a := range s.Detector.Alerts() {
+		if a.DocID == docID || strings.HasPrefix(a.DocID, docID+"::") {
+			alert := a
+			v.Alert = &alert
+			break
+		}
+	}
+
+	if st, ok := s.Detector.DocStateFor(res.Key.InstrKey); ok {
+		v.FeatureVector = st.Features
+		v.PeakMemMB = st.PeakMemMB
+		v.EnterMemMB = st.EnterMemMB
+	}
+
+	// Volatile per-document state dies with the reader process.
+	s.Detector.ForgetDoc(res.Key.InstrKey)
+
+	if !v.Malicious && s.opts.DeinstrumentBenign && res.ScriptsInstrumented > 0 {
+		restored, err := s.Instrumenter.Deinstrument(res.Output, res.Spec)
+		if err != nil {
+			return nil, fmt.Errorf("deinstrument %s: %w", docID, err)
+		}
+		v.Deinstrumented = restored
+	}
+	return v, nil
+}

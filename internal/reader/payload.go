@@ -1,0 +1,101 @@
+// Package reader simulates the PDF reader process the paper instruments:
+// it opens documents, triggers their Javascript through the embedded js
+// engine, emulates the exploited vulnerabilities at system-call level, and
+// routes every sensitive API through the hook layer so the runtime
+// detector observes exactly what a hooked Acrobat would produce.
+package reader
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PayloadMarker prefixes the op program a "shellcode" carries. In the real
+// world the NOP sled leads to x86 shellcode; here it leads to a textual op
+// program that the hijack emulator decodes and executes with the same
+// system-level effects (drops, process creation, connections, egg-hunting,
+// DLL injection).
+const PayloadMarker = "PAYLOAD:"
+
+// PayloadOpKind enumerates shellcode operations.
+type PayloadOpKind string
+
+// Shellcode operations.
+const (
+	// OpDrop writes an executable to disk (NtCreateFile).
+	OpDrop PayloadOpKind = "DROP"
+	// OpDownload fetches a URL to a file (connect + URLDownloadToFileA).
+	OpDownload PayloadOpKind = "DOWNLOAD"
+	// OpExec creates a process (NtCreateProcess).
+	OpExec PayloadOpKind = "EXEC"
+	// OpConnect opens an outbound connection (connect).
+	OpConnect PayloadOpKind = "CONNECT"
+	// OpListen opens a reverse-shell listener (listen).
+	OpListen PayloadOpKind = "LISTEN"
+	// OpEggHunt searches mapped memory for an embedded egg
+	// (NtAccessCheckAndAuditAlarm / IsBadReadPtr / ...), then drops it.
+	OpEggHunt PayloadOpKind = "EGGHUNT"
+	// OpInject injects a DLL into another process (CreateRemoteThread).
+	OpInject PayloadOpKind = "INJECT"
+)
+
+// PayloadOp is one shellcode operation with its arguments.
+type PayloadOp struct {
+	Kind PayloadOpKind
+	// Args meaning per kind:
+	//   DROP path | DOWNLOAD url path | EXEC path | CONNECT host:port |
+	//   LISTEN port | EGGHUNT dropPath | INJECT dllPath
+	Args []string
+}
+
+// EncodePayload renders ops as the marker string embedded after a NOP sled.
+func EncodePayload(ops []PayloadOp) string {
+	parts := make([]string, len(ops))
+	for i, op := range ops {
+		parts[i] = string(op.Kind)
+		if len(op.Args) > 0 {
+			parts[i] += "=" + strings.Join(op.Args, ",")
+		}
+	}
+	return PayloadMarker + strings.Join(parts, ";")
+}
+
+// DecodePayload extracts and parses the first payload program found in a
+// sprayed block. The program terminates at the first character outside the
+// op alphabet (real shellcode is length-delimited; the textual stand-in
+// ends at a '|' terminator or end of string).
+func DecodePayload(block string) ([]PayloadOp, bool) {
+	idx := strings.Index(block, PayloadMarker)
+	if idx < 0 {
+		return nil, false
+	}
+	body := block[idx+len(PayloadMarker):]
+	if end := strings.IndexByte(body, '|'); end >= 0 {
+		body = body[:end]
+	}
+	var ops []PayloadOp
+	for _, part := range strings.Split(body, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kindStr, argStr, hasArgs := strings.Cut(part, "=")
+		kind := PayloadOpKind(kindStr)
+		switch kind {
+		case OpDrop, OpDownload, OpExec, OpConnect, OpListen, OpEggHunt, OpInject:
+		default:
+			// Unknown op ends the program (trailing spray bytes).
+			return ops, len(ops) > 0
+		}
+		op := PayloadOp{Kind: kind}
+		if hasArgs {
+			op.Args = strings.Split(argStr, ",")
+		}
+		ops = append(ops, op)
+	}
+	return ops, len(ops) > 0
+}
+
+func (op PayloadOp) String() string {
+	return fmt.Sprintf("%s(%s)", op.Kind, strings.Join(op.Args, ","))
+}

@@ -1,0 +1,88 @@
+package reader
+
+// CVE identifiers emulated by the reader. Triggering conditions are
+// simplified predicates over the vulnerable API's arguments; exploitability
+// further depends on the viewer version (the paper's testbed ran Acrobat
+// 8.0/9.0, on which CVE-2009-1492 and CVE-2013-0640 samples "did nothing").
+const (
+	CVE20082992 = "CVE-2008-2992" // util.printf format-string overflow
+	CVE20090927 = "CVE-2009-0927" // Collab.getIcon buffer overflow
+	CVE20091492 = "CVE-2009-1492" // getAnnots — not exploitable on 8.0/9.0 here
+	CVE20091493 = "CVE-2009-1493" // spell.customDictionaryOpen overflow
+	CVE20094324 = "CVE-2009-4324" // media.newPlayer use-after-free
+	CVE20104091 = "CVE-2010-4091" // printSeps memory corruption
+	CVE20102883 = "CVE-2010-2883" // CoolType SING table overflow (out-of-JS)
+	CVE20103654 = "CVE-2010-3654" // Flash authplay.dll (out-of-JS)
+	CVE20130640 = "CVE-2013-0640" // XFA/JBIG2 — not exploitable on 8.0/9.0 here
+)
+
+// vulnSpec describes one emulated vulnerability.
+type vulnSpec struct {
+	ID string
+	// Affects reports whether the given viewer version is exploitable.
+	Affects func(version float64) bool
+	// Target is the control-flow hijack address the public exploits use;
+	// the spray must cover it for the hijack to land.
+	Target uint64
+}
+
+// Classic heap-spray landing zones used by the public exploits. The
+// lower-address targets need smaller sprays, which is why Figure 7's
+// malicious samples range from ~103 MB up.
+const (
+	sprayTarget    = 0x0c0c0c0c // ~202 MB above heap base
+	sprayTargetMid = 0x0a0a0a0a // ~168 MB
+	sprayTargetLow = 0x06060606 // ~101 MB
+)
+
+// heapBase approximates where script allocations start in the address
+// space.
+const heapBase = 0x00400000
+
+var vulnDB = map[string]vulnSpec{
+	CVE20082992: {ID: CVE20082992, Affects: func(v float64) bool { return v < 9.0 }, Target: sprayTarget},
+	CVE20090927: {ID: CVE20090927, Affects: func(v float64) bool { return v <= 9.0 }, Target: sprayTarget},
+	CVE20091492: {ID: CVE20091492, Affects: func(v float64) bool { return false }, Target: sprayTarget},
+	CVE20091493: {ID: CVE20091493, Affects: func(v float64) bool { return v <= 9.1 }, Target: sprayTargetMid},
+	CVE20094324: {ID: CVE20094324, Affects: func(v float64) bool { return v <= 9.2 }, Target: sprayTargetMid},
+	CVE20104091: {ID: CVE20104091, Affects: func(v float64) bool { return v <= 9.4 }, Target: sprayTargetLow},
+	CVE20102883: {ID: CVE20102883, Affects: func(v float64) bool { return v <= 9.4 }, Target: sprayTargetLow},
+	CVE20103654: {ID: CVE20103654, Affects: func(v float64) bool { return v <= 9.4 }, Target: sprayTargetLow},
+	CVE20130640: {ID: CVE20130640, Affects: func(v float64) bool { return false }, Target: sprayTarget},
+}
+
+// TargetOf exposes a CVE's hijack address (corpus generators size their
+// sprays against it).
+func TargetOf(cve string) (uint64, bool) {
+	spec, ok := vulnDB[cve]
+	if !ok {
+		return 0, false
+	}
+	return spec.Target, true
+}
+
+// HeapBase exposes the spray coverage origin.
+func HeapBase() uint64 { return heapBase }
+
+// ExploitStage records how far an exploit attempt got.
+type ExploitStage string
+
+// Exploit outcomes.
+const (
+	// StageNotVulnerable: the viewer version is not affected; the call
+	// returns normally and the sample "does nothing".
+	StageNotVulnerable ExploitStage = "not-vulnerable"
+	// StageCrash: control-flow hijack missed the spray (or landed on
+	// garbage); the reader process crashes.
+	StageCrash ExploitStage = "crash"
+	// StageShellcode: the hijack landed in the sled and the payload ran.
+	StageShellcode ExploitStage = "shellcode"
+)
+
+// ExploitEvent is one attempt observed while opening a document.
+type ExploitEvent struct {
+	CVE     string
+	Stage   ExploitStage
+	InJS    bool
+	Payload []PayloadOp
+}

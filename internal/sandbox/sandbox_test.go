@@ -1,0 +1,62 @@
+package sandbox
+
+import (
+	"testing"
+
+	"pdfshield/internal/winos"
+)
+
+func TestRunAndTerminate(t *testing.T) {
+	o := winos.NewOS()
+	s := New(o)
+	pid := s.Run(`C:\mal.exe`, 1)
+	if s.Running() != 1 {
+		t.Fatal("not running")
+	}
+	p, ok := o.Process(pid)
+	if !ok || !p.Sandboxed || !p.Alive {
+		t.Fatalf("process = %+v", p)
+	}
+	if path, ok := s.PathOf(pid); !ok || path != `C:\mal.exe` {
+		t.Errorf("PathOf = %q %v", path, ok)
+	}
+	if !s.Terminate(pid) {
+		t.Fatal("terminate failed")
+	}
+	if s.Running() != 0 {
+		t.Error("still tracked")
+	}
+	if p, _ := o.Process(pid); p.Alive {
+		t.Error("still alive in OS")
+	}
+	if s.Terminate(pid) {
+		t.Error("double terminate")
+	}
+}
+
+func TestTerminateAll(t *testing.T) {
+	o := winos.NewOS()
+	s := New(o)
+	for i := 0; i < 3; i++ {
+		s.Run(`C:\x.exe`, 1)
+	}
+	pids := s.TerminateAll()
+	if len(pids) != 3 || s.Running() != 0 {
+		t.Errorf("pids = %v running = %d", pids, s.Running())
+	}
+	if len(o.AliveProcesses()) != 0 {
+		t.Error("processes survived")
+	}
+}
+
+func TestTerminateUntracked(t *testing.T) {
+	o := winos.NewOS()
+	s := New(o)
+	foreign := o.Spawn(`C:\other.exe`, 0, false)
+	if s.Terminate(foreign) {
+		t.Error("terminated a process the sandbox does not own")
+	}
+	if p, _ := o.Process(foreign); !p.Alive {
+		t.Error("foreign process killed")
+	}
+}

@@ -1,0 +1,63 @@
+package soapsrv
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Client posts context notifications to a detector's SOAP endpoint. It is
+// the Go side of the SOAP.request call made by context monitoring code.
+type Client struct {
+	// Endpoint is the detector URL (Server.URL()).
+	Endpoint string
+	// HTTPClient overrides the default client (tests).
+	HTTPClient *http.Client
+}
+
+// NewClient returns a client for the given endpoint.
+func NewClient(endpoint string) *Client {
+	return &Client{Endpoint: endpoint}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return &http.Client{Timeout: 10 * time.Second}
+}
+
+// Send posts a Notify synchronously and returns the ack status.
+func (c *Client) Send(n Notify) (string, error) {
+	reqBody, err := MarshalNotify(n)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.httpClient().Post(c.Endpoint, "text/xml; charset=utf-8", bytes.NewReader(reqBody))
+	if err != nil {
+		return "", fmt.Errorf("soap post: %w", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxRequestBytes))
+	if err != nil {
+		return "", fmt.Errorf("soap response: %w", err)
+	}
+	return UnmarshalAck(data)
+}
+
+// SendRaw posts arbitrary bytes (used by attack simulations that forge
+// messages without going through the codec).
+func (c *Client) SendRaw(body []byte) (string, error) {
+	resp, err := c.httpClient().Post(c.Endpoint, "text/xml; charset=utf-8", bytes.NewReader(body))
+	if err != nil {
+		return "", fmt.Errorf("soap post: %w", err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxRequestBytes))
+	if err != nil {
+		return "", fmt.Errorf("soap response: %w", err)
+	}
+	return UnmarshalAck(data)
+}

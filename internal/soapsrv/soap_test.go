@@ -1,0 +1,139 @@
+package soapsrv
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	n := Notify{Event: EventEnter, Key: "DID123:IK456", Seq: 7}
+	data, err := MarshalNotify(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Envelope") {
+		t.Errorf("no Envelope in %s", data)
+	}
+	got, err := UnmarshalNotify(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != n {
+		t.Errorf("round trip: got %+v, want %+v", got, n)
+	}
+}
+
+func TestEnvelopeRejectsBadEvent(t *testing.T) {
+	data, err := MarshalNotify(Notify{Event: "pwn", Key: "k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalNotify(data); err == nil {
+		t.Error("expected invalid event error")
+	}
+}
+
+func TestEnvelopeRejectsGarbage(t *testing.T) {
+	for _, src := range []string{"", "not xml", "<Envelope/>", "<a><b></b></a>"} {
+		if _, err := UnmarshalNotify([]byte(src)); err == nil {
+			t.Errorf("%q: expected error", src)
+		}
+	}
+}
+
+func TestAckAndFault(t *testing.T) {
+	ack, err := MarshalAck("ok")
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, err := UnmarshalAck(ack)
+	if err != nil || status != "ok" {
+		t.Errorf("ack: status=%q err=%v", status, err)
+	}
+	fault, err := MarshalFault("Client", "bad key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalAck(fault); err == nil {
+		t.Error("fault should unmarshal to error")
+	}
+}
+
+func TestServerClientEndToEnd(t *testing.T) {
+	var mu sync.Mutex
+	var received []Notify
+	srv := NewServer(func(n Notify, remote string) error {
+		mu.Lock()
+		defer mu.Unlock()
+		received = append(received, n)
+		return nil
+	})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+
+	client := NewClient(srv.URL())
+	for i, ev := range []string{EventEnter, EventExit} {
+		status, err := client.Send(Notify{Event: ev, Key: "D:K", Seq: i})
+		if err != nil {
+			t.Fatalf("send %s: %v", ev, err)
+		}
+		if status != "ok" {
+			t.Errorf("status = %q", status)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(received) != 2 {
+		t.Fatalf("received %d messages", len(received))
+	}
+	if received[0].Event != EventEnter || received[1].Event != EventExit {
+		t.Errorf("events = %+v", received)
+	}
+}
+
+func TestServerHandlerErrorBecomesFault(t *testing.T) {
+	srv := NewServer(func(n Notify, remote string) error {
+		return errInvalidKey
+	})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+
+	client := NewClient(srv.URL())
+	if _, err := client.Send(Notify{Event: EventEnter, Key: "forged"}); err == nil {
+		t.Error("expected fault from handler rejection")
+	}
+}
+
+var errInvalidKey = &keyError{}
+
+type keyError struct{}
+
+func (*keyError) Error() string { return "invalid key" }
+
+func TestServerRejectsForgedRaw(t *testing.T) {
+	srv := NewServer(func(n Notify, remote string) error { return nil })
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+	client := NewClient(srv.URL())
+	if _, err := client.SendRaw([]byte("<xml>garbage</xml>")); err == nil {
+		t.Error("expected fault for malformed envelope")
+	}
+}
+
+func TestServerDoubleStart(t *testing.T) {
+	srv := NewServer(func(n Notify, remote string) error { return nil })
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+	if err := srv.Start(); err == nil {
+		t.Error("second Start should fail")
+	}
+}

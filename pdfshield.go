@@ -1,0 +1,222 @@
+// Package pdfshield is the public API of a complete reproduction of
+// "Detecting Malicious Javascript in PDF through Document Instrumentation"
+// (Liu, Wang, Stavrou — DSN 2014): a context-aware system that statically
+// instruments PDF documents with encrypted context-monitoring code and
+// detects infection attempts at runtime by correlating hooked system-level
+// behaviour with Javascript execution context.
+//
+// The typical flow mirrors the paper's two phases:
+//
+//	sys, _ := pdfshield.New(pdfshield.Options{})
+//	defer sys.Close()
+//	verdict, _ := sys.ProcessDocument("invoice.pdf", raw)
+//	if verdict.Malicious { ... }
+//
+// ProcessDocument instruments the document (Phase I), opens it in a
+// simulated, hooked reader process wired to the live runtime detector
+// (Phase II), and reports the verdict with the full 13-feature malscore
+// breakdown.
+//
+// Lower-level entry points: Analyze extracts the five static features
+// without modifying a document; Instrument performs Phase I only; Session
+// opens several documents inside one reader process, reproducing the
+// paper's multi-document attribution.
+package pdfshield
+
+import (
+	"errors"
+	"fmt"
+
+	"pdfshield/internal/detect"
+	"pdfshield/internal/instrument"
+	"pdfshield/internal/pdf"
+	"pdfshield/internal/pipeline"
+	"pdfshield/internal/reader"
+)
+
+// Options configures a System.
+type Options struct {
+	// ViewerVersion selects the simulated Acrobat version (default 9.0;
+	// the paper's testbed ran 8.0 and 9.0).
+	ViewerVersion float64
+	// Seed makes instrumentation randomization and corpus generation
+	// reproducible (0 = time-based).
+	Seed int64
+	// DownloadsPath persists the JS-context executable list across
+	// sessions ("" keeps it in memory).
+	DownloadsPath string
+	// DeinstrumentBenign restores original scripts once a document is
+	// classified benign (§III-F).
+	DeinstrumentBenign bool
+}
+
+// System is a running protection stack: front-end instrumenter plus the
+// runtime detector with its SOAP and hook servers.
+type System struct {
+	inner *pipeline.System
+}
+
+// New starts a protection system.
+func New(opts Options) (*System, error) {
+	inner, err := pipeline.NewSystem(pipeline.Options{
+		ViewerVersion:      opts.ViewerVersion,
+		Seed:               opts.Seed,
+		DownloadsPath:      opts.DownloadsPath,
+		DeinstrumentBenign: opts.DeinstrumentBenign,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("pdfshield: %w", err)
+	}
+	return &System{inner: inner}, nil
+}
+
+// Close stops the detector servers.
+func (s *System) Close() error { return s.inner.Close() }
+
+// StaticFeatures are the five novel static features of §III-B.
+type StaticFeatures = instrument.StaticFeatures
+
+// Verdict is the outcome of processing one document.
+type Verdict struct {
+	DocID string
+	// Malicious reports a runtime alert for this document.
+	Malicious bool
+	// Malscore is Equation 1's weighted sum at alert time (0 if benign).
+	Malscore int
+	// Features lists the positive features at alert time.
+	Features []string
+	// Reason is "malscore" or "fake-message" for malicious documents.
+	Reason string
+	// NoJavaScript marks out-of-scope documents.
+	NoJavaScript bool
+	// Crashed reports the reader process crashed (failed exploit).
+	Crashed bool
+	// Static holds the front-end features.
+	Static StaticFeatures
+	// IsolatedFiles lists quarantined artifacts.
+	IsolatedFiles []string
+	// Deinstrumented holds restored bytes when DeinstrumentBenign is set
+	// and the document proved benign.
+	Deinstrumented []byte
+}
+
+// ProcessDocument runs the full pipeline on one document.
+func (s *System) ProcessDocument(docID string, raw []byte) (*Verdict, error) {
+	v, err := s.inner.ProcessDocument(docID, raw)
+	if err != nil {
+		return nil, fmt.Errorf("pdfshield: process %s: %w", docID, err)
+	}
+	out := &Verdict{
+		DocID:          v.DocID,
+		Malicious:      v.Malicious,
+		NoJavaScript:   v.NoJavaScript,
+		Crashed:        v.Crashed,
+		Deinstrumented: v.Deinstrumented,
+	}
+	if v.Instrument != nil {
+		out.Static = v.Instrument.Features
+	}
+	if v.Alert != nil {
+		out.Malscore = v.Alert.Malscore
+		out.Features = v.Alert.Features.Positive()
+		out.Reason = v.Alert.Reason
+		out.IsolatedFiles = v.Alert.IsolatedFiles
+	}
+	return out, nil
+}
+
+// Analyze extracts static features from a document without modifying it.
+func Analyze(raw []byte) (StaticFeatures, error) {
+	feats, _, _, err := instrument.Analyze(raw)
+	if err != nil {
+		return StaticFeatures{}, fmt.Errorf("pdfshield: analyze: %w", err)
+	}
+	return feats, nil
+}
+
+// InstrumentResult describes a Phase-I instrumentation.
+type InstrumentResult struct {
+	// Output is the instrumented document.
+	Output []byte
+	// Key is the wire-form protection key ("DetectorID:InstrKey").
+	Key string
+	// ScriptsInstrumented counts context-monitor insertions.
+	ScriptsInstrumented int
+	// Static holds the extracted features.
+	Static StaticFeatures
+}
+
+// Instrument runs Phase I only: static analysis plus document
+// instrumentation. Returns instrument.ErrNoJavaScript (via errors.Is) for
+// documents with nothing to monitor.
+func (s *System) Instrument(docID string, raw []byte) (*InstrumentResult, error) {
+	res, err := s.inner.Instrumenter.InstrumentBytes(docID, raw)
+	if err != nil {
+		return nil, err
+	}
+	return &InstrumentResult{
+		Output:              res.Output,
+		Key:                 res.Key.String(),
+		ScriptsInstrumented: res.ScriptsInstrumented,
+		Static:              res.Features,
+	}, nil
+}
+
+// ErrNoJavaScript re-exports the out-of-scope sentinel.
+var ErrNoJavaScript = instrument.ErrNoJavaScript
+
+// Session opens multiple documents inside one simulated reader process,
+// reproducing the paper's multi-document attribution scenario.
+type Session struct {
+	sys   *System
+	inner *pipeline.Session
+}
+
+// NewSession starts a hooked reader process.
+func (s *System) NewSession() (*Session, error) {
+	inner, err := s.inner.NewSession()
+	if err != nil {
+		return nil, fmt.Errorf("pdfshield: session: %w", err)
+	}
+	return &Session{sys: s, inner: inner}, nil
+}
+
+// Open instruments (if needed) and opens a document inside the session's
+// reader process. The document stays open until the session closes.
+func (sess *Session) Open(docID string, raw []byte) error {
+	res, err := sess.sys.inner.Instrumenter.InstrumentBytes(docID, raw)
+	if err != nil && !errors.Is(err, instrument.ErrNoJavaScript) {
+		return err
+	}
+	if _, err := sess.inner.Open(res, reader.OpenOptions{}); err != nil {
+		return fmt.Errorf("pdfshield: open %s: %w", docID, err)
+	}
+	return nil
+}
+
+// Close terminates the reader process.
+func (sess *Session) Close() { sess.inner.Close() }
+
+// IsMalicious reports whether the detector has alerted on docID.
+func (s *System) IsMalicious(docID string) bool {
+	return s.inner.Detector.IsMalicious(docID)
+}
+
+// Alerts returns all alerts raised so far.
+func (s *System) Alerts() []detect.Alert {
+	return s.inner.Detector.Alerts()
+}
+
+// QuarantinedCount returns how many artifacts confinement has isolated.
+func (s *System) QuarantinedCount() int {
+	return s.inner.OS.QuarantineCount()
+}
+
+// Version reports the reproduced system's provenance.
+const Version = "pdfshield 1.0 — reproduction of Liu, Wang & Stavrou, DSN 2014"
+
+// ValidatePDF reports whether raw parses as a PDF document (lenient mode).
+func ValidatePDF(raw []byte) error {
+	_, err := pdf.Parse(raw, pdf.ParseOptions{})
+	return err
+}
