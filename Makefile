@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: build test race bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-checks the concurrent surface of the batch engine: the worker-pool
+# pipeline and the shared runtime detector (includes the 50-document /
+# 8-worker mixed-corpus test).
+race:
+	$(GO) test -race ./internal/pipeline/... ./internal/detect/...
+
+# Batch-engine benchmarks: docs/sec at 1/4/8 workers plus the pooled
+# parse/serialize round trip.
+bench:
+	$(GO) test -bench 'BenchmarkProcessBatch|BenchmarkParseReuse' -benchmem .

@@ -8,6 +8,7 @@ package pdfshield_test
 // tables.
 
 import (
+	"fmt"
 	"testing"
 
 	"pdfshield/internal/corpus"
@@ -167,6 +168,86 @@ func BenchmarkSecurityAnalysis_Evasion(b *testing.B) {
 		res := experiments.SecurityAnalysis(benchCfg)
 		if len(res.Tables[0].Rows) < 5 {
 			b.Fatal("missing attacks")
+		}
+	}
+}
+
+// ---- batch engine benchmarks ----
+
+// batchBenchDocs builds a deterministic mixed corpus (malicious / benign
+// with JS / benign without JS) for the batch benchmarks.
+func batchBenchDocs(n int) []pipeline.BatchDoc {
+	g := corpus.NewGenerator(4242)
+	docs := make([]pipeline.BatchDoc, 0, n)
+	for len(docs) < n {
+		var s corpus.Sample
+		switch len(docs) % 3 {
+		case 0:
+			s = g.Malicious()
+		case 1:
+			s = g.BenignWithJS(1)[0]
+		default:
+			s = g.BenignText(20 << 10)
+		}
+		docs = append(docs, pipeline.BatchDoc{ID: fmt.Sprintf("bench-%03d-%s", len(docs), s.ID), Raw: s.Raw})
+	}
+	return docs
+}
+
+// BenchmarkProcessBatch measures the worker-pool pipeline at several pool
+// widths, reporting docs/sec. Workers reuse sessions (one recycled reader
+// process each), so wider pools also amortize process spawn + hook
+// connection setup. On a single-CPU host the speedup from width alone is
+// bounded; session reuse still helps.
+func BenchmarkProcessBatch(b *testing.B) {
+	docs := batchBenchDocs(24)
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Fresh system per iteration: the registry enforces the
+				// paper's no-duplicate-instrumentation rule by content
+				// hash, so one system cannot re-process the same corpus.
+				// Setup stays outside the timed region.
+				b.StopTimer()
+				sys, err := pipeline.NewSystem(pipeline.Options{ViewerVersion: 9.0, Seed: 99})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				res := sys.ProcessBatch(docs, pipeline.BatchOptions{Workers: workers})
+				if n := res.Failed(); n != 0 {
+					for j, err := range res.Errors {
+						if err != nil {
+							b.Fatalf("%d documents failed; first: %s: %v", n, docs[j].ID, err)
+						}
+					}
+				}
+				b.StopTimer()
+				_ = sys.Close()
+				b.StartTimer()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(len(docs)*b.N)/b.Elapsed().Seconds(), "docs/sec")
+		})
+	}
+}
+
+// BenchmarkParseReuse measures the allocation-pooled parse/serialize round
+// trip (sync.Pool buffers in the lexer, filters and writer). Run with
+// -benchmem to see the pooled allocation profile.
+func BenchmarkParseReuse(b *testing.B) {
+	g := corpus.NewGenerator(7)
+	sample := g.BenignText(256 << 10)
+	b.SetBytes(int64(len(sample.Raw)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		doc, err := pdf.Parse(sample.Raw, pdf.ParseOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := pdf.Write(doc, pdf.WriteOptions{}); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -1,12 +1,16 @@
-// Command pdfshield-scan is the front-end CLI: it statically analyzes a PDF
-// document, reports the five static features and the Javascript chains, and
+// Command pdfshield-scan is the front-end CLI: it statically analyzes PDF
+// documents, reports the five static features and the Javascript chains, and
 // (unless -analyze is given) writes an instrumented copy plus the
-// de-instrumentation spec.
+// de-instrumentation spec for each input.
+//
+// Multiple inputs are processed concurrently by a worker pool (-workers,
+// default: the number of CPUs); reports are printed in input order.
 //
 // Usage:
 //
 //	pdfshield-scan [-analyze] [-out instrumented.pdf] [-spec spec.json]
-//	               [-registry registry.json] [-endpoint url] input.pdf
+//	               [-registry registry.json] [-endpoint url]
+//	               [-workers N] input.pdf [input2.pdf ...]
 package main
 
 import (
@@ -15,6 +19,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
+	"sync"
 
 	"pdfshield/internal/instrument"
 )
@@ -28,57 +35,25 @@ func main() {
 
 func run() error {
 	analyzeOnly := flag.Bool("analyze", false, "analyze only; do not instrument")
-	outPath := flag.String("out", "", "instrumented output path (default: <input>.instrumented.pdf)")
-	specPath := flag.String("spec", "", "de-instrumentation spec output path (default: <input>.spec.json)")
+	outPath := flag.String("out", "", "instrumented output path (default: <input>.instrumented.pdf; single input only)")
+	specPath := flag.String("spec", "", "de-instrumentation spec output path (default: <input>.spec.json; single input only)")
 	registryPath := flag.String("registry", "", "registry JSON to load/append (created when absent)")
 	endpoint := flag.String("endpoint", instrument.DefaultEndpoint, "detector SOAP endpoint embedded in monitoring code")
 	seed := flag.Int64("seed", 0, "randomization seed (0 = time-based)")
+	workers := flag.Int("workers", runtime.NumCPU(), "concurrent workers when scanning multiple inputs")
 	flag.Parse()
 
-	if flag.NArg() != 1 {
+	if flag.NArg() < 1 {
 		flag.Usage()
-		return errors.New("exactly one input file required")
+		return errors.New("at least one input file required")
 	}
-	input := flag.Arg(0)
-	raw, err := os.ReadFile(input)
-	if err != nil {
-		return err
-	}
-
-	feats, chains, _, err := instrument.Analyze(raw)
-	if err != nil {
-		return fmt.Errorf("analyze: %w", err)
-	}
-	merged, embedded, err := instrument.AnalyzeDeep(raw)
-	if err != nil {
-		return fmt.Errorf("deep analyze: %w", err)
-	}
-	fmt.Printf("file:              %s (%d bytes)\n", input, len(raw))
-	fmt.Printf("static features:   %s\n", feats)
-	if len(embedded) > 0 {
-		fmt.Printf("embedded PDFs:     %d (merged features: %s)\n", len(embedded), merged)
-	}
-	fmt.Printf("feature vector:    F1..F5 = %v (merged %v)\n", feats.Vector(), merged.Vector())
-	fmt.Printf("javascript chains: %d (triggered shown below)\n", len(chains.Chains))
-	for _, c := range chains.Chains {
-		if !c.Triggered {
-			continue
-		}
-		preview := c.Source
-		if len(preview) > 60 {
-			preview = preview[:60] + "..."
-		}
-		fmt.Printf("  holder obj %-4d trigger=%-18s %d chars: %q\n", c.Holder, c.Trigger, len(c.Source), preview)
-	}
-	if *analyzeOnly {
-		return nil
-	}
-	if !merged.HasJavaScript {
-		fmt.Println("no javascript anywhere: nothing to instrument")
-		return nil
+	inputs := flag.Args()
+	if len(inputs) > 1 && (*outPath != "" || *specPath != "") {
+		return errors.New("-out/-spec require a single input; defaults are used per file otherwise")
 	}
 
 	var registry *instrument.Registry
+	var err error
 	if *registryPath != "" {
 		registry, err = instrument.LoadRegistryJSON(*registryPath)
 		if err != nil && os.IsNotExist(errors.Unwrap(err)) {
@@ -94,46 +69,135 @@ func run() error {
 		}
 		registry = instrument.NewRegistry(id)
 	}
-
+	// The instrumenter and registry are safe for concurrent use; one pair
+	// serves all workers so keys stay unique across the whole scan.
 	ins := instrument.New(registry, instrument.Options{Endpoint: *endpoint, Seed: *seed})
-	res, err := ins.InstrumentBytes(input, raw)
-	if err != nil {
-		return fmt.Errorf("instrument: %w", err)
-	}
 
-	out := *outPath
-	if out == "" {
-		out = input + ".instrumented.pdf"
+	reports := make([]string, len(inputs))
+	errs := make([]error, len(inputs))
+	nw := *workers
+	if nw <= 0 {
+		nw = runtime.NumCPU()
 	}
-	if err := os.WriteFile(out, res.Output, 0o600); err != nil {
-		return err
+	if nw > len(inputs) {
+		nw = len(inputs)
 	}
-	spec := *specPath
-	if spec == "" {
-		spec = input + ".spec.json"
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				reports[i], errs[i] = scanFile(inputs[i], ins, *analyzeOnly, *outPath, *specPath)
+			}
+		}()
 	}
-	specJSON, err := json.MarshalIndent(res.Spec, "", "  ")
-	if err != nil {
-		return err
+	for i := range inputs {
+		jobs <- i
 	}
-	if err := os.WriteFile(spec, specJSON, 0o600); err != nil {
-		return err
+	close(jobs)
+	wg.Wait()
+
+	var firstErr error
+	for i := range inputs {
+		if reports[i] != "" {
+			fmt.Print(reports[i])
+		}
+		if errs[i] != nil {
+			fmt.Fprintf(os.Stderr, "pdfshield-scan: %s: %v\n", inputs[i], errs[i])
+			if firstErr == nil {
+				firstErr = errs[i]
+			}
+		}
+	}
+	if firstErr != nil {
+		return fmt.Errorf("one or more inputs failed: %w", firstErr)
 	}
 	if *registryPath != "" {
 		if err := registry.SaveJSON(*registryPath); err != nil {
 			return err
 		}
 	}
+	return nil
+}
 
-	fmt.Printf("instrumented:      %s (%d scripts, %d staged rewrites, %d embedded docs)\n", out, res.ScriptsInstrumented, res.StagedRewrites, len(res.Embedded))
+// scanFile analyzes (and optionally instruments) one input, returning its
+// rendered report. It only writes the per-input output/spec files; stdout
+// ordering is the caller's job.
+func scanFile(input string, ins *instrument.Instrumenter, analyzeOnly bool, outPath, specPath string) (string, error) {
+	var sb strings.Builder
+	raw, err := os.ReadFile(input)
+	if err != nil {
+		return "", err
+	}
+
+	feats, chains, _, err := instrument.Analyze(raw)
+	if err != nil {
+		return "", fmt.Errorf("analyze: %w", err)
+	}
+	merged, embedded, err := instrument.AnalyzeDeep(raw)
+	if err != nil {
+		return "", fmt.Errorf("deep analyze: %w", err)
+	}
+	fmt.Fprintf(&sb, "file:              %s (%d bytes)\n", input, len(raw))
+	fmt.Fprintf(&sb, "static features:   %s\n", feats)
+	if len(embedded) > 0 {
+		fmt.Fprintf(&sb, "embedded PDFs:     %d (merged features: %s)\n", len(embedded), merged)
+	}
+	fmt.Fprintf(&sb, "feature vector:    F1..F5 = %v (merged %v)\n", feats.Vector(), merged.Vector())
+	fmt.Fprintf(&sb, "javascript chains: %d (triggered shown below)\n", len(chains.Chains))
+	for _, c := range chains.Chains {
+		if !c.Triggered {
+			continue
+		}
+		preview := c.Source
+		if len(preview) > 60 {
+			preview = preview[:60] + "..."
+		}
+		fmt.Fprintf(&sb, "  holder obj %-4d trigger=%-18s %d chars: %q\n", c.Holder, c.Trigger, len(c.Source), preview)
+	}
+	if analyzeOnly {
+		return sb.String(), nil
+	}
+	if !merged.HasJavaScript {
+		sb.WriteString("no javascript anywhere: nothing to instrument\n")
+		return sb.String(), nil
+	}
+
+	res, err := ins.InstrumentBytes(input, raw)
+	if err != nil {
+		return sb.String(), fmt.Errorf("instrument: %w", err)
+	}
+
+	out := outPath
+	if out == "" {
+		out = input + ".instrumented.pdf"
+	}
+	if err := os.WriteFile(out, res.Output, 0o600); err != nil {
+		return sb.String(), err
+	}
+	spec := specPath
+	if spec == "" {
+		spec = input + ".spec.json"
+	}
+	specJSON, err := json.MarshalIndent(res.Spec, "", "  ")
+	if err != nil {
+		return sb.String(), err
+	}
+	if err := os.WriteFile(spec, specJSON, 0o600); err != nil {
+		return sb.String(), err
+	}
+
+	fmt.Fprintf(&sb, "instrumented:      %s (%d scripts, %d staged rewrites, %d embedded docs)\n", out, res.ScriptsInstrumented, res.StagedRewrites, len(res.Embedded))
 	if res.Key.InstrKey != "" {
-		fmt.Printf("protection key:    %s\n", res.Key)
+		fmt.Fprintf(&sb, "protection key:    %s\n", res.Key)
 	}
 	for _, emb := range res.Embedded {
-		fmt.Printf("embedded key:      %s -> %s\n", emb.DocID, emb.Key)
+		fmt.Fprintf(&sb, "embedded key:      %s -> %s\n", emb.DocID, emb.Key)
 	}
-	fmt.Printf("spec:              %s\n", spec)
-	fmt.Printf("timing:            parse %.4fs, features %.4fs, instrument %.4fs\n",
+	fmt.Fprintf(&sb, "spec:              %s\n", spec)
+	fmt.Fprintf(&sb, "timing:            parse %.4fs, features %.4fs, instrument %.4fs\n",
 		res.Timing.ParseDecompress.Seconds(), res.Timing.FeatureExtraction.Seconds(), res.Timing.Instrumentation.Seconds())
-	return nil
+	return sb.String(), nil
 }

@@ -49,6 +49,10 @@ type Alert struct {
 type DocState struct {
 	InstrKey string
 	DocID    string
+	// PID is the reader process the document is open in (0 when the
+	// sender predates PID-tagged notifications; such documents match any
+	// process).
+	PID      int
 	Features Vector
 	// Armed reports that at least one JS-context operation was captured;
 	// until then sensitive operations are ignored for this document.
@@ -94,11 +98,20 @@ type Detector struct {
 	downloads *DownloadList
 	sandbox   *sandbox.Sandbox
 
-	mu        sync.Mutex
-	docs      map[string]*DocState // by instrumentation key
-	activeKey string
-	lastMemMB float64
-	alerts    []Alert
+	mu   sync.Mutex
+	docs map[string]*DocState // by instrumentation key
+	// active maps a reader PID to the instrumentation key currently in
+	// Javascript context in that process. The paper assumes one
+	// single-threaded reader; to serve concurrent readers (batch mode) the
+	// detector keys the active context per process. PID 0 is the legacy
+	// "unspecified process" slot used by senders that predate PID tagging.
+	active map[int]string
+	// lastMem is the most recent memory sample per reader PID; lastMemAny
+	// is the most recent sample from any process, used as the fallback for
+	// PID-0 notifications.
+	lastMem    map[int]float64
+	lastMemAny float64
+	alerts     []Alert
 }
 
 // New creates a detector (not yet started).
@@ -130,6 +143,8 @@ func New(cfg Config) (*Detector, error) {
 		downloads: downloads,
 		sandbox:   sandbox.New(cfg.OS),
 		docs:      make(map[string]*DocState),
+		active:    make(map[int]string),
+		lastMem:   make(map[int]float64),
 	}
 	d.soap = soapsrv.NewServer(d.handleNotify)
 	d.hooks = hook.NewServer(d.handleEvent)
@@ -206,8 +221,10 @@ func (d *Detector) ForgetDoc(instrKey string) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	delete(d.docs, instrKey)
-	if d.activeKey == instrKey {
-		d.activeKey = ""
+	for pid, key := range d.active {
+		if key == instrKey {
+			delete(d.active, pid)
+		}
 	}
 }
 
@@ -227,31 +244,40 @@ func (d *Detector) handleNotify(n soapsrv.Notify, remote string) error {
 	}
 	k, _ := instrument.ParseKey(n.Key)
 	st := d.docStateLocked(k.InstrKey, rec)
+	st.PID = n.PID
+	mem := d.memForLocked(n.PID)
 
 	switch n.Event {
 	case soapsrv.EventEnter:
-		d.activeKey = k.InstrKey
+		d.active[n.PID] = k.InstrKey
 		st.InContext = true
-		st.EnterMemMB = d.lastMemMB
-		st.PeakMemMB = d.lastMemMB
+		st.EnterMemMB = mem
+		st.PeakMemMB = mem
 	case soapsrv.EventExit:
-		if d.activeKey == k.InstrKey {
-			d.activeKey = ""
+		if d.active[n.PID] == k.InstrKey {
+			delete(d.active, n.PID)
 		}
 		st.InContext = false
-		d.updateMemoryFeatureLocked(st, d.lastMemMB)
+		d.updateMemoryFeatureLocked(st, mem)
 		d.evaluateLocked(st)
 	}
 	return nil
 }
 
-func (d *Detector) fakeMessageLocked(n soapsrv.Notify, cause error) {
-	// Prefer the active document; otherwise, if the claimed key is known,
-	// blame that document.
-	var st *DocState
-	if d.activeKey != "" {
-		st = d.docs[d.activeKey]
+// memForLocked returns the freshest memory sample for a reader process,
+// falling back to the most recent sample from any process when the PID has
+// never reported one (legacy PID-0 senders).
+func (d *Detector) memForLocked(pid int) float64 {
+	if mem, ok := d.lastMem[pid]; ok {
+		return mem
 	}
+	return d.lastMemAny
+}
+
+func (d *Detector) fakeMessageLocked(n soapsrv.Notify, cause error) {
+	// Prefer the active document in the sending process; otherwise, if the
+	// claimed key is known, blame that document.
+	st := d.activeDocLocked(n.PID)
 	if st == nil {
 		if k, err := instrument.ParseKey(n.Key); err == nil {
 			if rec, ok := d.cfg.Registry.LookupKey(k.InstrKey); ok {
@@ -289,8 +315,9 @@ func (d *Detector) handleEvent(ev hook.Event) hook.Decision {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 
-	d.lastMemMB = ev.MemMB
-	active := d.activeDocLocked()
+	d.lastMem[ev.PID] = ev.MemMB
+	d.lastMemAny = ev.MemMB
+	active := d.activeDocLocked(ev.PID)
 	if active != nil && active.InContext {
 		if ev.MemMB > active.PeakMemMB {
 			active.PeakMemMB = ev.MemMB
@@ -319,11 +346,30 @@ func (d *Detector) handleEvent(ev hook.Event) hook.Decision {
 	}
 }
 
-func (d *Detector) activeDocLocked() *DocState {
-	if d.activeKey == "" {
-		return nil
+// activeDocLocked resolves the document currently in Javascript context for
+// a reader process. Legacy fallbacks keep single-reader senders working: a
+// PID-0 enter claims whatever process raises events, and a PID-0 event (or
+// notification) matches a sole active context.
+func (d *Detector) activeDocLocked(pid int) *DocState {
+	if key, ok := d.active[pid]; ok {
+		return d.docs[key]
 	}
-	return d.docs[d.activeKey]
+	if key, ok := d.active[0]; ok {
+		return d.docs[key]
+	}
+	if pid == 0 && len(d.active) == 1 {
+		for _, key := range d.active {
+			return d.docs[key]
+		}
+	}
+	return nil
+}
+
+// sameProcessLocked reports whether a document's state may be affected by
+// an event from the given reader PID. PID 0 on either side means
+// "unspecified process" and matches everything (legacy single-reader mode).
+func (d *Detector) sameProcessLocked(st *DocState, pid int) bool {
+	return st.PID == pid || st.PID == 0 || pid == 0
 }
 
 func (d *Detector) updateMemoryFeatureLocked(st *DocState, curMemMB float64) {
@@ -421,9 +467,10 @@ func (d *Detector) onProcessLocked(ev hook.Event, active *DocState) hook.Decisio
 			}
 		}
 	} else {
-		// Out-JS process creation counts for every armed document.
+		// Out-JS process creation counts for every armed document open in
+		// the same reader process.
 		for _, st := range d.docs {
-			if st.Armed {
+			if st.Armed && d.sameProcessLocked(st, ev.PID) {
 				d.markOutJSLocked(st, FOutJSProc, "outjs-process: "+path)
 				d.evaluateLocked(st)
 			}
@@ -433,7 +480,7 @@ func (d *Detector) onProcessLocked(ev hook.Event, active *DocState) hook.Decisio
 	// target inside the sandbox (pre-alert).
 	owner := active
 	if owner == nil {
-		owner = d.someArmedDocLocked()
+		owner = d.someArmedDocLocked(ev.PID)
 	}
 	if owner != nil && owner.Alerted {
 		return hook.Decision{Action: hook.ActionReject, Note: "post-alert: process creation blocked"}
@@ -446,9 +493,9 @@ func (d *Detector) onProcessLocked(ev hook.Event, active *DocState) hook.Decisio
 	return hook.Decision{Action: hook.ActionSandbox, Note: fmt.Sprintf("running in sandbox as pid %d", pid)}
 }
 
-func (d *Detector) someArmedDocLocked() *DocState {
+func (d *Detector) someArmedDocLocked(pid int) *DocState {
 	for _, st := range d.docs {
-		if st.Armed {
+		if st.Armed && d.sameProcessLocked(st, pid) {
 			return st
 		}
 	}
@@ -463,7 +510,7 @@ func (d *Detector) onInjectLocked(ev hook.Event, active *DocState) hook.Decision
 		d.evaluateLocked(active)
 	} else {
 		for _, st := range d.docs {
-			if st.Armed {
+			if st.Armed && d.sameProcessLocked(st, ev.PID) {
 				d.markOutJSLocked(st, FOutJSInject, "outjs-dll-inject: "+dll)
 				st.InjectedDLLs = append(st.InjectedDLLs, dll)
 				d.evaluateLocked(st)

@@ -33,9 +33,8 @@ func AblationFeatures(cfg Config) Result {
 			return
 		}
 		defer func() { _ = sys.Close() }()
-		for _, s := range samples {
-			v, err := sys.ProcessDocument(s.ID, s.Raw)
-			if err != nil || v.NoJavaScript {
+		for _, v := range batchVerdicts(sys, samples, cfg.workers()) {
+			if v.NoJavaScript {
 				continue
 			}
 			all = append(all, labelled{vec: v.FeatureVector, mal: mal, alerted: v.Malicious})

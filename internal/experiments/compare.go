@@ -99,9 +99,12 @@ func TableIX(cfg Config, ours Accuracy) Result {
 	oursMimic := 0
 	sys, err := pipeline.NewSystem(pipeline.Options{ViewerVersion: 8.0, Seed: cfg.seed() + 4})
 	if err == nil {
+		docs := make([]pipeline.BatchDoc, len(mimics))
 		for i, raw := range mimics {
-			v, err := sys.ProcessDocument(fmt.Sprintf("mimic-%d", i), raw)
-			if err == nil && v.Malicious {
+			docs[i] = pipeline.BatchDoc{ID: fmt.Sprintf("mimic-%d", i), Raw: raw}
+		}
+		for _, v := range sys.ProcessBatch(docs, pipeline.BatchOptions{Workers: cfg.workers()}).Verdicts {
+			if v != nil && v.Malicious {
 				oursMimic++
 			}
 		}

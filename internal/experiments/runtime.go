@@ -174,11 +174,7 @@ func TableVIII(cfg Config) (Result, Accuracy) {
 	if err != nil {
 		return Result{}, acc
 	}
-	for _, s := range g.BenignWithJS(nBenign) {
-		v, err := sysB.ProcessDocument(s.ID, s.Raw)
-		if err != nil {
-			continue
-		}
+	for _, v := range batchVerdicts(sysB, g.BenignWithJS(nBenign), cfg.workers()) {
 		acc.BenignTotal++
 		if v.Malicious {
 			acc.BenignFlagged++
@@ -191,11 +187,7 @@ func TableVIII(cfg Config) (Result, Accuracy) {
 	if err != nil {
 		return Result{}, acc
 	}
-	for _, s := range g.MaliciousBatch(nMal) {
-		v, err := sysM.ProcessDocument(s.ID, s.Raw)
-		if err != nil {
-			continue
-		}
+	for _, v := range batchVerdicts(sysM, g.MaliciousBatch(nMal), cfg.workers()) {
 		acc.MalTotal++
 		switch {
 		case v.Malicious:
@@ -223,6 +215,24 @@ func TableVIII(cfg Config) (Result, Accuracy) {
 		},
 	}
 	return Result{Tables: []Table{table}}, acc
+}
+
+// batchVerdicts pushes a corpus slice through the worker-pool batch engine
+// and returns the successful verdicts in input order (failed documents are
+// skipped, matching the old per-document `continue` behaviour).
+func batchVerdicts(sys *pipeline.System, samples []corpus.Sample, workers int) []*pipeline.Verdict {
+	docs := make([]pipeline.BatchDoc, len(samples))
+	for i, s := range samples {
+		docs[i] = pipeline.BatchDoc{ID: s.ID, Raw: s.Raw}
+	}
+	res := sys.ProcessBatch(docs, pipeline.BatchOptions{Workers: workers})
+	out := make([]*pipeline.Verdict, 0, len(samples))
+	for _, v := range res.Verdicts {
+		if v != nil {
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 // isNoise reports the paper's "did nothing when opened" condition.

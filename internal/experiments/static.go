@@ -53,8 +53,8 @@ func Figure6(cfg Config) Result {
 	nBenign := cfg.scaled(994, 60)
 	nMal := cfg.scaled(1000, 60)
 
-	benignRatios := ratiosOf(g.BenignWithJS(nBenign))
-	malRatios := ratiosOf(g.MaliciousBatch(nMal))
+	benignRatios := ratiosOf(g.BenignWithJS(nBenign), cfg.workers())
+	malRatios := ratiosOf(g.MaliciousBatch(nMal), cfg.workers())
 
 	fig := Series{
 		ID:     "Figure 6",
@@ -74,14 +74,21 @@ func Figure6(cfg Config) Result {
 	return Result{Figures: []Series{fig}}
 }
 
-func ratiosOf(samples []corpus.Sample) []float64 {
-	out := make([]float64, 0, len(samples))
-	for _, s := range samples {
-		_, chains, _, err := instrument.Analyze(s.Raw)
+func ratiosOf(samples []corpus.Sample, workers int) []float64 {
+	vals := make([]float64, len(samples))
+	ok := make([]bool, len(samples))
+	parallelEach(len(samples), workers, func(i int) {
+		_, chains, _, err := instrument.Analyze(samples[i].Raw)
 		if err != nil {
-			continue
+			return
 		}
-		out = append(out, chains.Ratio())
+		vals[i], ok[i] = chains.Ratio(), true
+	})
+	out := make([]float64, 0, len(samples))
+	for i := range vals {
+		if ok[i] {
+			out = append(out, vals[i])
+		}
 	}
 	sort.Float64s(out)
 	return out

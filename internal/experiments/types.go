@@ -8,6 +8,7 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Config tunes experiment scale.
@@ -17,6 +18,11 @@ type Config struct {
 	Scale float64
 	// Seed drives corpus generation and randomized instrumentation.
 	Seed int64
+	// Workers is the worker-pool width for the corpus passes that go
+	// through the full pipeline (Table V analysis, Table VIII, Table IX
+	// mimicry, ablations). 0 or 1 means serial; verdicts are identical
+	// either way, only wall-clock changes.
+	Workers int
 }
 
 func (c Config) scale() float64 {
@@ -26,11 +32,49 @@ func (c Config) scale() float64 {
 	return c.Scale
 }
 
+func (c Config) workers() int {
+	if c.Workers <= 0 {
+		return 1
+	}
+	return c.Workers
+}
+
 func (c Config) seed() int64 {
 	if c.Seed == 0 {
 		return 20140623 // DSN'14 week
 	}
 	return c.Seed
+}
+
+// parallelEach runs fn(0..n-1) over a worker pool; workers <= 1 runs
+// inline. Callers write disjoint result slots indexed by i, so outputs stay
+// in input order regardless of scheduling.
+func parallelEach(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
 }
 
 // scaled returns n scaled with a floor.

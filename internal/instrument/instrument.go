@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"pdfshield/internal/pdf"
@@ -53,8 +54,30 @@ func New(registry *Registry, opts Options) *Instrumenter {
 		endpoint: endpoint,
 		//nolint:gosec // randomization of code layout, not cryptography; the
 		// protection key material comes from crypto/rand in key.go.
-		rng: rand.New(rand.NewSource(seed)),
+		// lockedSource makes the shared Instrumenter safe for concurrent
+		// InstrumentBytes calls (batch workers instrument in parallel).
+		rng: rand.New(&lockedSource{src: rand.NewSource(seed)}),
 	}
+}
+
+// lockedSource is a mutex-guarded rand.Source: *rand.Rand itself is not
+// goroutine-safe, and the instrumenter draws from one shared RNG for code
+// layout randomization.
+type lockedSource struct {
+	mu  sync.Mutex
+	src rand.Source
+}
+
+func (s *lockedSource) Int63() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.src.Int63()
+}
+
+func (s *lockedSource) Seed(seed int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.src.Seed(seed)
 }
 
 // PhaseTiming records per-phase durations (Table X's columns).

@@ -1,0 +1,65 @@
+package pdf
+
+import (
+	"bytes"
+	"compress/zlib"
+	"io"
+	"sync"
+)
+
+// The batch pipeline parses, decompresses and reserializes thousands of
+// documents; per-call buffer growth and zlib state construction dominated
+// its allocation profile. These pools recycle that scratch state across
+// calls (and across the worker goroutines of a batch run — sync.Pool is
+// goroutine-safe).
+
+// bufPool recycles scratch byte buffers for decode/encode/serialize calls.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// maxPooledBuf bounds the capacity retained in the pool so one huge
+// document does not pin its scratch buffer for the life of the process.
+const maxPooledBuf = 4 << 20
+
+func getBuf() *bytes.Buffer { return bufPool.Get().(*bytes.Buffer) }
+
+func putBuf(b *bytes.Buffer) {
+	if b == nil || b.Cap() > maxPooledBuf {
+		return
+	}
+	b.Reset()
+	bufPool.Put(b)
+}
+
+// copyBytes snapshots a pooled buffer's contents into a right-sized slice
+// the caller may keep after the buffer returns to the pool.
+func copyBytes(b *bytes.Buffer) []byte {
+	out := make([]byte, b.Len())
+	copy(out, b.Bytes())
+	return out
+}
+
+// zlibWriterPool recycles flate compressors; zlib.Writer.Reset lets one
+// compressor (and its ~1.3 MB of internal window state) serve many streams.
+var zlibWriterPool = sync.Pool{New: func() any { return zlib.NewWriter(io.Discard) }}
+
+// zlibReaderPool recycles flate decompressors via zlib.Resetter.
+var zlibReaderPool sync.Pool
+
+// getZlibReader returns a decompressor positioned over src, reusing a pooled
+// one when available.
+func getZlibReader(src io.Reader) (io.ReadCloser, error) {
+	if r, ok := zlibReaderPool.Get().(io.ReadCloser); ok && r != nil {
+		if err := r.(zlib.Resetter).Reset(src, nil); err != nil {
+			zlibReaderPool.Put(r)
+			return nil, err
+		}
+		return r, nil
+	}
+	return zlib.NewReader(src)
+}
+
+func putZlibReader(r io.ReadCloser) {
+	if _, ok := r.(zlib.Resetter); ok {
+		zlibReaderPool.Put(r)
+	}
+}

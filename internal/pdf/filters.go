@@ -102,31 +102,36 @@ func EncodeChain(filters []Name, data []byte) (raw []byte, filterObj Object, err
 }
 
 func flateDecode(data []byte) ([]byte, error) {
-	r, err := zlib.NewReader(bytes.NewReader(data))
+	r, err := getZlibReader(bytes.NewReader(data))
 	if err != nil {
 		return nil, fmt.Errorf("%w: flate: %v", ErrFilter, err)
 	}
-	defer func() { _ = r.Close() }()
-	out, err := io.ReadAll(io.LimitReader(r, maxDecodedSize+1))
+	defer putZlibReader(r)
+	buf := getBuf()
+	defer putBuf(buf)
+	_, err = buf.ReadFrom(io.LimitReader(r, maxDecodedSize+1))
 	if err != nil && !errors.Is(err, io.ErrUnexpectedEOF) {
 		return nil, fmt.Errorf("%w: flate: %v", ErrFilter, err)
 	}
-	if len(out) > maxDecodedSize {
+	if buf.Len() > maxDecodedSize {
 		return nil, fmt.Errorf("%w: flate output exceeds %d bytes", ErrFilter, maxDecodedSize)
 	}
-	return out, nil
+	return copyBytes(buf), nil
 }
 
 func flateEncode(data []byte) ([]byte, error) {
-	var buf bytes.Buffer
-	w := zlib.NewWriter(&buf)
+	buf := getBuf()
+	defer putBuf(buf)
+	w := zlibWriterPool.Get().(*zlib.Writer)
+	defer zlibWriterPool.Put(w)
+	w.Reset(buf)
 	if _, err := w.Write(data); err != nil {
 		return nil, fmt.Errorf("%w: flate encode: %v", ErrFilter, err)
 	}
 	if err := w.Close(); err != nil {
 		return nil, fmt.Errorf("%w: flate encode: %v", ErrFilter, err)
 	}
-	return buf.Bytes(), nil
+	return copyBytes(buf), nil
 }
 
 func asciiHexDecode(data []byte) ([]byte, error) {

@@ -279,6 +279,21 @@ func (l *Lexer) lexHexString() (Token, error) {
 
 func (l *Lexer) lexLiteralString() (Token, error) {
 	start := l.pos
+	// Fast path: a string with no escapes and no nested parens needs no
+	// decoding — alias the source subslice instead of building a copy
+	// (Token.Bytes is read-only by convention, like TokKeyword tokens).
+	for i := l.pos + 1; i < len(l.src); i++ {
+		c := l.src[i]
+		if c == '\\' || c == '(' {
+			break
+		}
+		if c == ')' {
+			tok := Token{Type: TokString, Pos: start, Bytes: l.src[l.pos+1 : i]}
+			l.pos = i + 1
+			return tok, nil
+		}
+	}
+	l.pos = start
 	l.pos++ // consume '('
 	out := make([]byte, 0, 16)
 	depth := 1

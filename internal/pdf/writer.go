@@ -24,7 +24,8 @@ type WriteOptions struct {
 // Write serializes the document with a classic cross-reference table.
 // Stream /Length entries are recomputed. Object numbers are preserved.
 func Write(d *Document, opts WriteOptions) ([]byte, error) {
-	var buf bytes.Buffer
+	buf := getBuf()
+	defer putBuf(buf)
 	if len(opts.HeaderJunk) > 0 {
 		buf.Write(opts.HeaderJunk)
 	}
@@ -53,14 +54,14 @@ func Write(d *Document, opts WriteOptions) ([]byte, error) {
 		buf.WriteByte(' ')
 		buf.WriteString(strconv.Itoa(obj.Gen))
 		buf.WriteString(" obj\n")
-		if err := writeBody(&buf, obj.Object); err != nil {
+		if err := writeBody(buf, obj.Object); err != nil {
 			return nil, fmt.Errorf("object %d: %w", num, err)
 		}
 		buf.WriteString("\nendobj\n")
 	}
 
 	xrefOff := buf.Len()
-	writeXref(&buf, nums, offsets)
+	writeXref(buf, nums, offsets)
 
 	trailer := d.Trailer
 	if trailer == nil {
@@ -70,15 +71,13 @@ func Write(d *Document, opts WriteOptions) ([]byte, error) {
 	trailer["Size"] = Integer(d.maxNum + 1)
 	delete(trailer, "Prev")
 	buf.WriteString("trailer\n")
-	var tb bytes.Buffer
-	if err := writeBody(&tb, trailer); err != nil {
+	if err := writeBody(buf, trailer); err != nil {
 		return nil, fmt.Errorf("trailer: %w", err)
 	}
-	buf.Write(tb.Bytes())
 	buf.WriteString("\nstartxref\n")
 	buf.WriteString(strconv.Itoa(xrefOff))
 	buf.WriteString("\n%%EOF\n")
-	return buf.Bytes(), nil
+	return copyBytes(buf), nil
 }
 
 // writeXref emits xref subsections, coalescing contiguous object numbers.

@@ -1,0 +1,120 @@
+package pipeline
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+
+	"pdfshield/internal/instrument"
+)
+
+// BatchDoc is one input document for ProcessBatch.
+type BatchDoc struct {
+	// ID is the caller-chosen document identity (path or corpus id).
+	ID string
+	// Raw holds the original document bytes.
+	Raw []byte
+}
+
+// BatchOptions tunes a ProcessBatch run.
+type BatchOptions struct {
+	// Workers is the number of concurrent reader sessions. Each worker
+	// owns one long-lived session (reader process + hook connection) that
+	// is recycled between documents instead of redialled. Zero or negative
+	// means runtime.NumCPU().
+	Workers int
+}
+
+// BatchResult collects the outcome of a ProcessBatch run. Both slices are
+// indexed like the input: Verdicts[i] and Errors[i] describe docs[i], and
+// exactly one of them is non-nil per document.
+type BatchResult struct {
+	Verdicts []*Verdict
+	Errors   []error
+}
+
+// Failed counts documents that ended in an error.
+func (r *BatchResult) Failed() int {
+	n := 0
+	for _, err := range r.Errors {
+		if err != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// ProcessBatch runs the complete workflow over many documents using a
+// worker pool. Per-document failures are recorded in BatchResult.Errors
+// rather than aborting the batch, and results come back in input order.
+//
+// Every shared component (instrumenter, registry, detector, fake OS) is
+// safe for concurrent use; the detector attributes events per reader PID,
+// so concurrent documents cannot cross-contaminate feature vectors. Each
+// document still runs in a logically fresh reader process (Session.Recycle
+// restarts the process between documents), so per-document verdicts match
+// serial ProcessDocument runs.
+func (s *System) ProcessBatch(docs []BatchDoc, opts BatchOptions) *BatchResult {
+	out := &BatchResult{
+		Verdicts: make([]*Verdict, len(docs)),
+		Errors:   make([]error, len(docs)),
+	}
+	if len(docs) == 0 {
+		return out
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(docs) {
+		workers = len(docs)
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sess *Session
+			defer func() {
+				if sess != nil {
+					sess.Close()
+				}
+			}()
+			for i := range jobs {
+				// Workers write disjoint slots, so no result locking is
+				// needed and input order is preserved for free.
+				out.Verdicts[i], out.Errors[i] = s.processWithSession(&sess, docs[i])
+			}
+		}()
+	}
+	for i := range docs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+// processWithSession runs one document through a worker's reusable session,
+// lazily creating it on first need and recycling it between documents.
+func (s *System) processWithSession(sess **Session, doc BatchDoc) (*Verdict, error) {
+	res, err := s.Instrumenter.InstrumentBytes(doc.ID, doc.Raw)
+	if err != nil {
+		if errors.Is(err, instrument.ErrNoJavaScript) {
+			return &Verdict{DocID: doc.ID, NoJavaScript: true, Instrument: res}, nil
+		}
+		return nil, err
+	}
+	if *sess == nil {
+		ns, err := s.NewSession()
+		if err != nil {
+			return nil, err
+		}
+		*sess = ns
+	} else {
+		(*sess).Recycle()
+	}
+	return s.openAndJudge(*sess, res)
+}

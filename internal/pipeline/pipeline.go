@@ -129,6 +129,15 @@ func (sess *Session) Close() {
 	_ = sess.sink.Close()
 }
 
+// Recycle prepares the session for its next document: the reader process is
+// restarted (discarding all per-process state) while the hook connection
+// stays dialled into the detector. Batch workers use this to amortize the
+// session setup cost across many documents without letting one document's
+// reader state leak into the next.
+func (sess *Session) Recycle() {
+	sess.Proc.Reset()
+}
+
 // Verdict is the outcome of processing one document end to end.
 type Verdict struct {
 	DocID string
@@ -168,15 +177,24 @@ func (s *System) ProcessDocument(docID string, raw []byte) (*Verdict, error) {
 		}
 		return nil, err
 	}
-	v := &Verdict{DocID: docID, Instrument: res}
-
 	sess, err := s.NewSession()
 	if err != nil {
 		return nil, err
 	}
+	defer sess.Close()
+	return s.openAndJudge(sess, res)
+}
+
+// openAndJudge opens an instrumented document (and its instrumented
+// attachments) in the given session and assembles the verdict. The session
+// is left open; callers own its lifecycle (ProcessDocument closes it,
+// batch workers recycle it for the next document).
+func (s *System) openAndJudge(sess *Session, res *instrument.Result) (*Verdict, error) {
+	docID := res.DocID
+	v := &Verdict{DocID: docID, Instrument: res}
+
 	openRes, err := sess.Open(res, reader.OpenOptions{SpawnHelper: s.opts.SpawnHelper})
 	if err != nil {
-		sess.Close()
 		return nil, err
 	}
 	// The user opens instrumented attachments too (§VI: embedded and host
@@ -189,7 +207,6 @@ func (s *System) ProcessDocument(docID string, raw []byte) (*Verdict, error) {
 			break // crashed attachment ends the session
 		}
 	}
-	sess.Close()
 	v.Open = openRes
 	v.Crashed = openRes.Crashed
 

@@ -410,7 +410,7 @@ func (p *Process) soapToDetector(it *js.Interp, req *js.Object) (js.Value, error
 	key, _ := oreq.GetOwn("Key")
 	seq, _ := oreq.GetOwn("Seq")
 	client := soapsrv.NewClient(p.cfg.DetectorSOAP)
-	status, err := client.Send(soapsrv.Notify{Event: ev.Str(), Key: key.Str(), Seq: int(seq.ToNumber())})
+	status, err := client.Send(soapsrv.Notify{Event: ev.Str(), Key: key.Str(), Seq: int(seq.ToNumber()), PID: p.PID})
 	if err != nil {
 		// Faults (e.g. fake-message rejection) surface as catchable JS
 		// errors; the zero-tolerance consequence already fired inside the

@@ -157,6 +157,23 @@ func (p *Process) Close() {
 	p.os.Terminate(p.PID)
 }
 
+// Reset recycles the process for the next document: the old process is
+// terminated in the fake OS and a fresh one spawned, discarding all
+// per-process state (open documents, script heap, crash flag). Callers that
+// process documents in bulk use this to keep the surrounding session — in
+// particular the hook connection to the detector — alive, while each
+// document still observes the behaviour of a freshly started reader.
+func (p *Process) Reset() {
+	p.os.Terminate(p.PID)
+	p.PID = p.os.Spawn(readerExeName, 0, false)
+	p.docsMemMB = 0
+	p.jsHeapBytes = 0
+	p.lastSampledHeap = 0
+	p.compacted = false
+	p.crashed = false
+	p.docs = nil
+}
+
 // apiCall reports a hooked API to the sink and returns the decision. When
 // no detector is reachable the call proceeds (fail-open, like a hook DLL
 // whose detector died).

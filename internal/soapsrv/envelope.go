@@ -34,6 +34,11 @@ type Notify struct {
 	// Seq is a per-document sequence number assigned by the context
 	// monitoring code, letting the detector pair enters with exits.
 	Seq int
+	// PID identifies the reader process hosting the Javascript engine, so
+	// a detector serving several concurrent readers can attribute the
+	// context transition to the right process. Zero means "unspecified"
+	// (legacy senders); the detector then assumes a single reader.
+	PID int
 }
 
 type envelope struct {
@@ -51,6 +56,7 @@ type notifyXML struct {
 	Event string `xml:"urn:pdfshield:ctx Event"`
 	Key   string `xml:"urn:pdfshield:ctx Key"`
 	Seq   int    `xml:"urn:pdfshield:ctx Seq"`
+	PID   int    `xml:"urn:pdfshield:ctx PID,omitempty"`
 }
 
 type ackXML struct {
@@ -64,7 +70,7 @@ type faultXML struct {
 
 // MarshalNotify renders a Notify as a SOAP request body.
 func MarshalNotify(n Notify) ([]byte, error) {
-	env := envelope{Body: body{Notify: &notifyXML{Event: n.Event, Key: n.Key, Seq: n.Seq}}}
+	env := envelope{Body: body{Notify: &notifyXML{Event: n.Event, Key: n.Key, Seq: n.Seq, PID: n.PID}}}
 	return marshalEnvelope(env)
 }
 
@@ -106,7 +112,7 @@ func UnmarshalNotify(data []byte) (Notify, error) {
 	if n.Event != EventEnter && n.Event != EventExit {
 		return Notify{}, fmt.Errorf("%w: invalid event %q", ErrEnvelope, n.Event)
 	}
-	return Notify{Event: n.Event, Key: n.Key, Seq: n.Seq}, nil
+	return Notify{Event: n.Event, Key: n.Key, Seq: n.Seq, PID: n.PID}, nil
 }
 
 // UnmarshalAck parses a response, returning the ack status or the fault as

@@ -106,6 +106,10 @@ func (s *System) ProcessDocument(docID string, raw []byte) (*Verdict, error) {
 	if err != nil {
 		return nil, fmt.Errorf("pdfshield: process %s: %w", docID, err)
 	}
+	return toVerdict(v), nil
+}
+
+func toVerdict(v *pipeline.Verdict) *Verdict {
 	out := &Verdict{
 		DocID:          v.DocID,
 		Malicious:      v.Malicious,
@@ -122,7 +126,52 @@ func (s *System) ProcessDocument(docID string, raw []byte) (*Verdict, error) {
 		out.Reason = v.Alert.Reason
 		out.IsolatedFiles = v.Alert.IsolatedFiles
 	}
-	return out, nil
+	return out
+}
+
+// BatchDoc is one input document for ProcessBatch.
+type BatchDoc struct {
+	ID  string
+	Raw []byte
+}
+
+// BatchOptions tunes a batch run.
+type BatchOptions struct {
+	// Workers is the number of concurrent reader sessions, each a
+	// long-lived recycled reader process wired to the shared detector.
+	// Zero or negative means runtime.NumCPU().
+	Workers int
+}
+
+// BatchResult collects a batch run's outcome. Verdicts and Errors are
+// indexed like the input documents; exactly one of Verdicts[i]/Errors[i]
+// is non-nil per document.
+type BatchResult struct {
+	Verdicts []*Verdict
+	Errors   []error
+}
+
+// ProcessBatch runs the full pipeline over many documents with a worker
+// pool. Per-document failures land in BatchResult.Errors instead of
+// aborting the batch, results come back in input order, and verdicts match
+// what serial ProcessDocument calls would produce for the same Seed.
+func (s *System) ProcessBatch(docs []BatchDoc, opts BatchOptions) *BatchResult {
+	in := make([]pipeline.BatchDoc, len(docs))
+	for i, d := range docs {
+		in[i] = pipeline.BatchDoc{ID: d.ID, Raw: d.Raw}
+	}
+	res := s.inner.ProcessBatch(in, pipeline.BatchOptions{Workers: opts.Workers})
+	out := &BatchResult{Verdicts: make([]*Verdict, len(docs)), Errors: make([]error, len(docs))}
+	for i, v := range res.Verdicts {
+		if err := res.Errors[i]; err != nil {
+			out.Errors[i] = fmt.Errorf("pdfshield: process %s: %w", docs[i].ID, err)
+			continue
+		}
+		if v != nil {
+			out.Verdicts[i] = toVerdict(v)
+		}
+	}
+	return out
 }
 
 // Analyze extracts static features from a document without modifying it.
