@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: build test race bench
+# Per-target budget for `make fuzz`. The committed seeds under
+# internal/*/testdata/fuzz/ replay on every plain `make test` regardless.
+FUZZTIME ?= 30s
+
+.PHONY: build test race bench fuzz
 
 build:
 	$(GO) build ./...
@@ -18,3 +22,12 @@ race:
 # parse/serialize round trip.
 bench:
 	$(GO) test -bench 'BenchmarkProcessBatch|BenchmarkParseReuse' -benchmem .
+
+# Fuzz every attacker-facing decoder for FUZZTIME each: full-document PDF
+# parsing, the stream filter codecs, the Javascript interpreter, and the
+# SOAP envelope codec. New crashers land in testdata/fuzz/ — commit them.
+fuzz:
+	$(GO) test -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/pdf/
+	$(GO) test -fuzz '^FuzzFilters$$' -fuzztime $(FUZZTIME) ./internal/pdf/
+	$(GO) test -fuzz '^FuzzJSInterp$$' -fuzztime $(FUZZTIME) ./internal/js/
+	$(GO) test -fuzz '^FuzzEnvelope$$' -fuzztime $(FUZZTIME) ./internal/soapsrv/

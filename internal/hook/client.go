@@ -19,11 +19,22 @@ type Sink interface {
 	Close() error
 }
 
+// DefaultIOTimeout bounds each send/receive exchange with the detector. The
+// hook channel is synchronous — the reader process blocks on every decision —
+// so a detector that accepts the connection but never answers would otherwise
+// wedge the reader forever.
+const DefaultIOTimeout = 5 * time.Second
+
 // TCPClient streams events to the detector over a TCP connection, one JSON
 // line per event, reading one JSON decision line back. This mirrors the
 // hook DLL's socket in §III-E ("When the hook DLL is injected, its first
 // job is to set up a TCP connection to the runtime detector").
 type TCPClient struct {
+	// IOTimeout bounds each write and each decision read. Zero means
+	// DefaultIOTimeout; negative disables deadlines (tests that single-step
+	// the detector use this).
+	IOTimeout time.Duration
+
 	mu   sync.Mutex
 	conn net.Conn
 	rd   *bufio.Reader
@@ -41,10 +52,35 @@ func Dial(addr string) (*TCPClient, error) {
 	return &TCPClient{conn: conn, rd: bufio.NewReader(conn)}, nil
 }
 
+// timeout returns the effective per-operation timeout (0 = disabled).
+func (c *TCPClient) timeout() time.Duration {
+	switch {
+	case c.IOTimeout == 0:
+		return DefaultIOTimeout
+	case c.IOTimeout < 0:
+		return 0
+	default:
+		return c.IOTimeout
+	}
+}
+
+// deadline returns the absolute deadline for the next I/O operation, or the
+// zero time when deadlines are disabled.
+func (c *TCPClient) deadline() time.Time {
+	d := c.timeout()
+	if d == 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(d)
+}
+
 // OnAPICall implements Sink.
 func (c *TCPClient) OnAPICall(ev Event) (Decision, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.conn == nil {
+		return Decision{}, fmt.Errorf("hook send: connection closed")
+	}
 	c.seq++
 	ev.Seq = c.seq
 	line, err := json.Marshal(ev)
@@ -52,11 +88,20 @@ func (c *TCPClient) OnAPICall(ev Event) (Decision, error) {
 		return Decision{}, fmt.Errorf("hook marshal: %w", err)
 	}
 	line = append(line, '\n')
+	if err := c.conn.SetWriteDeadline(c.deadline()); err != nil {
+		return Decision{}, fmt.Errorf("hook send: %w", err)
+	}
 	if _, err := c.conn.Write(line); err != nil {
 		return Decision{}, fmt.Errorf("hook send: %w", err)
 	}
+	if err := c.conn.SetReadDeadline(c.deadline()); err != nil {
+		return Decision{}, fmt.Errorf("hook recv: %w", err)
+	}
 	resp, err := c.rd.ReadBytes('\n')
 	if err != nil {
+		if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			return Decision{}, fmt.Errorf("hook recv: detector did not answer within %v: %w", c.timeout(), err)
+		}
 		return Decision{}, fmt.Errorf("hook recv: %w", err)
 	}
 	var dec Decision

@@ -31,6 +31,11 @@ func (it *Interp) stringCharAt(v Value, idx int) (Value, error) {
 	if isASCII(v) {
 		return it.newString(v.str[idx : idx+1])
 	}
+	// Re-encoding the whole string is O(len); bill it, or per-character
+	// loops over non-ASCII strings turn quadratic for free.
+	if err := it.work(len(v.str)); err != nil {
+		return Undefined(), err
+	}
 	u := stringUnits(v.str)
 	return it.newString(unitsToString(u[idx : idx+1]))
 }
@@ -64,6 +69,9 @@ func (it *Interp) stringSlice(v Value, start, end int) (Value, error) {
 	}
 	if isASCII(v) {
 		return it.newString(v.str[start:end])
+	}
+	if err := it.work(len(v.str)); err != nil {
+		return Undefined(), err
 	}
 	u := stringUnits(v.str)
 	return it.newString(unitsToString(u[start:end]))
@@ -119,7 +127,15 @@ func init() {
 			if err != nil {
 				return Undefined(), err
 			}
-			return NumberValue(it.stringCharCodeAt(StringValue(s), toIntArg(arg(args, 0), 0))), nil
+			sv := StringValue(s)
+			if !isASCII(sv) {
+				// Billing the UTF-16 re-encode keeps shellcode-style
+				// charCodeAt loops within the step budget's time bound.
+				if err := it.work(len(s)); err != nil {
+					return Undefined(), err
+				}
+			}
+			return NumberValue(it.stringCharCodeAt(sv, toIntArg(arg(args, 0), 0))), nil
 		},
 		"indexOf": func(it *Interp, this Value, args []Value) (Value, error) {
 			s, err := thisString(it, this)
@@ -128,6 +144,9 @@ func init() {
 			}
 			needle, err := valueToString(it, arg(args, 0))
 			if err != nil {
+				return Undefined(), err
+			}
+			if err := it.work(len(s) + len(needle)); err != nil {
 				return Undefined(), err
 			}
 			sv := StringValue(s)
@@ -163,6 +182,9 @@ func init() {
 			}
 			needle, err := valueToString(it, arg(args, 0))
 			if err != nil {
+				return Undefined(), err
+			}
+			if err := it.work(len(s) + len(needle)); err != nil {
 				return Undefined(), err
 			}
 			// ASCII-sufficient implementation (code-unit exact for ASCII).
@@ -233,6 +255,9 @@ func init() {
 			if err != nil {
 				return Undefined(), err
 			}
+			if err := it.work(len(s)); err != nil {
+				return Undefined(), err
+			}
 			var parts []string
 			if sep == "" {
 				for _, r := range s {
@@ -262,6 +287,9 @@ func init() {
 			}
 			rep, err := valueToString(it, arg(args, 1))
 			if err != nil {
+				return Undefined(), err
+			}
+			if err := it.work(len(s) + len(pat)); err != nil {
 				return Undefined(), err
 			}
 			// String-pattern semantics: first occurrence only.

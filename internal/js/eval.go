@@ -304,14 +304,26 @@ func (it *Interp) binaryOp(op string, l, r Value) (Value, error) {
 	case "%":
 		return NumberValue(math.Mod(l.ToNumber(), r.ToNumber())), nil
 	case "==":
+		if err := it.chargeCompare(l, r); err != nil {
+			return Undefined(), err
+		}
 		eq, err := looseEquals(it, l, r)
 		return BoolValue(eq), err
 	case "!=":
+		if err := it.chargeCompare(l, r); err != nil {
+			return Undefined(), err
+		}
 		eq, err := looseEquals(it, l, r)
 		return BoolValue(!eq), err
 	case "===":
+		if err := it.chargeCompare(l, r); err != nil {
+			return Undefined(), err
+		}
 		return BoolValue(strictEquals(l, r)), nil
 	case "!==":
+		if err := it.chargeCompare(l, r); err != nil {
+			return Undefined(), err
+		}
 		return BoolValue(!strictEquals(l, r)), nil
 	case "<", ">", "<=", ">=":
 		return it.compareOp(op, l, r)
@@ -348,8 +360,24 @@ func (it *Interp) binaryOp(op string, l, r Value) (Value, error) {
 	}
 }
 
+// chargeCompare bills the step budget for string equality scans, which are
+// O(min len) without allocating and therefore invisible to the heap cap.
+func (it *Interp) chargeCompare(l, r Value) error {
+	if !l.IsString() || !r.IsString() {
+		return nil
+	}
+	n := len(l.str)
+	if len(r.str) < n {
+		n = len(r.str)
+	}
+	return it.work(n)
+}
+
 func (it *Interp) compareOp(op string, l, r Value) (Value, error) {
 	if l.IsString() && r.IsString() {
+		if err := it.chargeCompare(l, r); err != nil {
+			return Undefined(), err
+		}
 		var res bool
 		switch op {
 		case "<":

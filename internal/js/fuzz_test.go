@@ -1,0 +1,40 @@
+package js
+
+import (
+	"testing"
+)
+
+// FuzzJSInterp runs arbitrary source through the full lex/parse/eval stack
+// under a tight step and heap budget. Scripts inside hostile PDFs are fed to
+// this interpreter verbatim, so the invariant is containment: syntax errors,
+// thrown values, and budget exhaustion are all fine; panics and runaway
+// loops are bugs.
+func FuzzJSInterp(f *testing.F) {
+	seeds := []string{
+		`var x = 1; for (var i = 0; i < 10; i++) x += i; x;`,
+		`function f(a){ return a ? f(a-1) : 0; } f(5);`,
+		`var s = "A"; try { while(1) s += s; } catch (e) { e.name }`,
+		`eval("var q = unescape('%u9090');" + " q.length");`,
+		`var o = {a:[1,2,3]}; for (var k in o.a) o[k] = o.a[k]; o.toString();`,
+		`switch(3){case 1: break; case 3: var z = "hit"; default: z += "!";} z;`,
+		`"\x41B" + (0x10 * .5e1) + [,,].length;`,
+		`do { break; } while (true);`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 64<<10 {
+			return
+		}
+		it := New()
+		it.StepLimit = 200_000
+		it.MaxHeap = 8 << 20
+		v, err := it.Run(src)
+		if err != nil {
+			return
+		}
+		// The completion value must be renderable without the interpreter.
+		_ = ToDisplay(v)
+	})
+}

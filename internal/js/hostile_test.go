@@ -1,0 +1,70 @@
+package js
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// These regression tests pin the interpreter's work-accounting fix: O(n)
+// builtins (string scans, non-ASCII re-encoding, string comparison) used to
+// cost a single step, and array stringification built its result with
+// quadratic string concatenation. A script could buy seconds of CPU per
+// step-budget unit; now scanned bytes are charged against the step budget,
+// so under a small StepLimit these workloads must trip ErrBudget instead of
+// running to completion.
+
+func mustTripBudget(t *testing.T, src string) {
+	t.Helper()
+	it := New()
+	it.StepLimit = 50_000
+	it.MaxHeap = 64 << 20
+	start := time.Now()
+	_, err := it.Run(src)
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("budgeted run took %v — work accounting lost", d)
+	}
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}
+
+func TestWorkChargedForStringScans(t *testing.T) {
+	// 64 KB haystack, failing indexOf in a tight loop: each call scans the
+	// whole string, so the byte charges must exhaust 50k steps long before
+	// the loop's own step cost would.
+	mustTripBudget(t, `var s="a";for(var i=0;i<16;i++)s+=s;var n=0;for(;;)n+=s.indexOf("b");`)
+}
+
+func TestWorkChargedForNonASCIICharCode(t *testing.T) {
+	// charCodeAt on a non-ASCII string re-encodes the prefix per call.
+	mustTripBudget(t, `var s="一";for(var i=0;i<14;i++)s+=s;var n=0;for(;;)n+=s.charCodeAt(s.length-1);`)
+}
+
+func TestWorkChargedForStringCompares(t *testing.T) {
+	// Equal-prefix comparison scans both strings.
+	mustTripBudget(t, `var a="x";for(var i=0;i<15;i++)a+=a;var b=a+"y";var n=0;for(;;)if(a==b)n++;`)
+}
+
+func TestWorkChargedForArrayToString(t *testing.T) {
+	// Stringifying a large array repeatedly; the join itself must be
+	// charged (and is linear, not quadratic, since the Builder rewrite).
+	// Elements are 256 chars because work() floors charges below 64 bytes
+	// to zero — tiny elements would fill the heap before the step budget.
+	mustTripBudget(t, `var e="x";for(var i=0;i<8;i++)e+=e;var a=[];for(var i=0;i<500;i++)a.push(e);for(;;){var s=""+a;}`)
+}
+
+// TestHonestWorkStillFits proves the charging model is not so aggressive
+// that ordinary scripts burn their budget: a typical small workload runs to
+// completion under the same 50k-step limit.
+func TestHonestWorkStillFits(t *testing.T) {
+	it := New()
+	it.StepLimit = 50_000
+	v, err := it.Run(`var s="hello world";var n=0;for(var i=0;i<100;i++)n+=s.indexOf("world");n;`)
+	if err != nil {
+		t.Fatalf("honest script tripped the budget: %v", err)
+	}
+	if v.Num() != 600 {
+		t.Fatalf("result = %v, want 600", v.Num())
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strings"
 )
 
 // Runtime limits protecting the host from hostile scripts. Heap sprays in
@@ -142,6 +143,27 @@ func (it *Interp) Steps() int64 { return it.steps }
 
 func (it *Interp) step() error {
 	it.steps++
+	limit := it.StepLimit
+	if limit == 0 {
+		limit = DefaultStepLimit
+	}
+	if it.steps > limit {
+		return ErrBudget
+	}
+	return nil
+}
+
+// workDivisor converts bytes of non-allocating scan work (string searches,
+// comparisons, UTF-16 re-encoding) into interpreter steps. Without this,
+// operations like indexOf on a megabyte haystack cost one step each and the
+// step budget stops bounding wall-clock time.
+const workDivisor = 64
+
+// work charges n bytes of scan work against the step budget.
+func (it *Interp) work(n int) error {
+	if n > workDivisor {
+		it.steps += int64(n) / workDivisor
+	}
 	limit := it.StepLimit
 	if limit == 0 {
 		limit = DefaultStepLimit
@@ -660,10 +682,12 @@ func valueToString(it *Interp, v Value) (string, error) {
 		}
 		switch {
 		case o.Class == ClassArray:
-			out := ""
+			// Builder keeps this linear; += on a string accumulator is
+			// quadratic in the array length, which hostile scripts exploit.
+			var b strings.Builder
 			for i := 0; i < o.arrayLen(); i++ {
 				if i > 0 {
-					out += ","
+					b.WriteByte(',')
 				}
 				el := o.getIndex(i)
 				if el.IsUndefined() || el.IsNull() {
@@ -673,9 +697,14 @@ func valueToString(it *Interp, v Value) (string, error) {
 				if err != nil {
 					return "", err
 				}
-				out += s
+				b.WriteString(s)
+				if it != nil {
+					if err := it.work(len(s) + 1); err != nil {
+						return "", err
+					}
+				}
 			}
-			return out, nil
+			return b.String(), nil
 		case o.IsCallable():
 			if o.Fn != nil && o.Fn.Source != "" {
 				return o.Fn.Source, nil

@@ -60,12 +60,21 @@ func Encode(filter Name, data []byte) ([]byte, error) {
 	}
 }
 
+// maxFilterChain bounds the declared /Filter chain length honoured by
+// DecodeChain. Real documents use at most a handful of levels; a crafted
+// document declaring thousands of expanding filters would otherwise buy
+// amplification work with a few bytes of dictionary.
+const maxFilterChain = 32
+
 // DecodeChain runs the full declared filter chain of a stream and returns the
 // fully decoded bytes along with the number of filter levels applied. The
 // level count feeds static feature F5 (levels of encoding).
 func DecodeChain(s *Stream) (data []byte, levels int, err error) {
 	data = s.Raw
 	filters := s.Filters()
+	if len(filters) > maxFilterChain {
+		return nil, 0, fmt.Errorf("%w: filter chain of %d levels exceeds %d", ErrFilter, len(filters), maxFilterChain)
+	}
 	for _, f := range filters {
 		data, err = Decode(f, data)
 		if err != nil {
@@ -278,6 +287,11 @@ func runLengthDecode(data []byte) ([]byte, error) {
 				out = append(out, data[i])
 			}
 			i++
+		}
+		// Repeat runs expand 2 input bytes into up to 128 output bytes, so
+		// chained RunLength levels amplify geometrically without a cap.
+		if len(out) > maxDecodedSize {
+			return nil, fmt.Errorf("%w: runlength output exceeds %d bytes", ErrFilter, maxDecodedSize)
 		}
 	}
 	return out, nil

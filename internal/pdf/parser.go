@@ -138,11 +138,19 @@ func (p *Parser) parseViaXref() error {
 		}
 		start = prev
 	}
+	budget := newParseBudget(len(p.src))
 	for num, off := range offsets {
 		if off <= 0 || off >= len(p.src) {
 			continue
 		}
-		obj, err := p.parseIndirectAt(off)
+		if budget.exhausted() {
+			// A hostile xref can point millions of entries at overlapping
+			// unterminated objects, each of which scans to EOF before
+			// failing; once the cumulative work bound is hit, stop taking
+			// the document's word for where objects live.
+			break
+		}
+		obj, err := p.parseIndirectAt(off, budget)
 		if err != nil {
 			// Tolerate individual broken entries; the scavenger exists for
 			// documents where everything is broken.
@@ -254,11 +262,39 @@ func (p *Parser) parseXrefSection(off int, offsets map[int]int) (Dict, int, erro
 	return trailer, prev, nil
 }
 
-// parseIndirectAt parses "N G obj ... endobj" at the given offset.
-func (p *Parser) parseIndirectAt(off int) (IndirectObject, error) {
+// parseBudget bounds the total lexing work spent on speculative object
+// parses (xref-directed and scavenged). Overlapping unterminated objects
+// make each failed attempt scan toward EOF, so without a cumulative bound a
+// crafted document costs O(markers × filesize) — minutes of CPU for 1 MB of
+// input. The budget is a generous multiple of the file size: real damaged
+// documents parse nearly disjoint ranges and never approach it.
+type parseBudget struct {
+	remaining int
+}
+
+func newParseBudget(srcLen int) *parseBudget {
+	return &parseBudget{remaining: 64*srcLen + 1<<16}
+}
+
+func (b *parseBudget) exhausted() bool { return b != nil && b.remaining <= 0 }
+
+func (b *parseBudget) spend(n int) {
+	if b != nil && n > 0 {
+		b.remaining -= n
+	}
+}
+
+// parseIndirectAt parses "N G obj ... endobj" at the given offset. The
+// work spent is charged against budget (nil = unbounded), including work
+// spent on attempts that fail partway.
+func (p *Parser) parseIndirectAt(off int, budget *parseBudget) (IndirectObject, error) {
 	lx := NewLexer(p.src, off)
-	// Share hex-name accounting with the document-level lexer.
-	defer func() { p.lex.HexNameCount += lx.HexNameCount }()
+	// Share hex-name accounting with the document-level lexer; charge the
+	// bytes this attempt advanced over, success or failure.
+	defer func() {
+		p.lex.HexNameCount += lx.HexNameCount
+		budget.spend(lx.Pos() - off)
+	}()
 
 	numTok, err := lx.Next()
 	if err != nil || numTok.Type != TokInteger {
@@ -325,6 +361,9 @@ func readStreamBody(lx *Lexer, d Dict) ([]byte, error) {
 	}
 	idx := bytes.Index(src[pos:], []byte("endstream"))
 	if idx < 0 {
+		// The whole tail was scanned; reflect that in the lexer position so
+		// speculative-parse budgets account for the work.
+		lx.SetPos(len(src))
 		return nil, fmt.Errorf("%w: unterminated stream at %d", ErrParse, pos)
 	}
 	end := pos + idx
@@ -348,6 +387,7 @@ func consumeEndobj(lx *Lexer) {
 // scavenge scans the whole file for "N G obj" markers and parses each hit.
 func (p *Parser) scavenge() error {
 	src := p.src
+	budget := newParseBudget(len(src))
 	for i := 0; i+3 < len(src); i++ {
 		if src[i] != 'o' || src[i+1] != 'b' || src[i+2] != 'j' {
 			continue
@@ -358,11 +398,16 @@ func (p *Parser) scavenge() error {
 		if i > 0 && isRegular(src[i-1]) {
 			continue // e.g. "endobj"
 		}
+		if budget.exhausted() {
+			// Keep what was recovered so far instead of burning quadratic
+			// time on overlapping unterminated objects.
+			break
+		}
 		start := backtrackObjHeader(src, i)
 		if start < 0 {
 			continue
 		}
-		obj, err := p.parseIndirectAt(start)
+		obj, err := p.parseIndirectAt(start, budget)
 		if err != nil {
 			continue
 		}

@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -99,7 +100,21 @@ func (s *System) ProcessBatch(docs []BatchDoc, opts BatchOptions) *BatchResult {
 
 // processWithSession runs one document through a worker's reusable session,
 // lazily creating it on first need and recycling it between documents.
-func (s *System) processWithSession(sess **Session, doc BatchDoc) (*Verdict, error) {
+//
+// A panic while analyzing one document is contained to that document's slot:
+// the worker records a fail-closed error, throws away its session (the reader
+// process may be mid-open with arbitrary state), and keeps draining the
+// batch. The other documents' verdicts are unaffected.
+func (s *System) processWithSession(sess **Session, doc BatchDoc) (v *Verdict, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			discardSession(sess)
+			v, err = nil, fmt.Errorf("analysis panic: %v", r)
+		}
+	}()
+	if analysisHook != nil {
+		analysisHook(doc.ID)
+	}
 	res, err := s.Instrumenter.InstrumentBytes(doc.ID, doc.Raw)
 	if err != nil {
 		if errors.Is(err, instrument.ErrNoJavaScript) {

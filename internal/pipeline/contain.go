@@ -1,0 +1,35 @@
+package pipeline
+
+import "fmt"
+
+// analysisHook, when non-nil, runs at the start of every contained
+// per-document analysis with the document's ID. It exists as a test seam:
+// the fuzzing work fixes every panic we can find, but containment must hold
+// for the ones we can't, so tests inject a panic here to prove the batch
+// survives. Set it only from tests, and only while no batch is running.
+var analysisHook func(docID string)
+
+// containPanic converts an in-flight panic into a fail-closed per-document
+// error. It must be called directly from a defer. A document that crashes
+// the analyzer is never reported benign by omission: the caller gets a
+// non-nil error in the same slot a verdict would have filled.
+func containPanic(v **Verdict, err *error) {
+	if r := recover(); r != nil {
+		*v = nil
+		*err = fmt.Errorf("analysis panic: %v", r)
+	}
+}
+
+// discardSession closes and clears a worker session whose document panicked.
+// The reader process may be mid-open with arbitrary state, so the session is
+// thrown away rather than recycled; Close errors (or panics) during teardown
+// of an already-broken session are deliberately swallowed.
+func discardSession(sess **Session) {
+	s := *sess
+	if s == nil {
+		return
+	}
+	*sess = nil
+	defer func() { _ = recover() }()
+	s.Close()
+}

@@ -168,8 +168,14 @@ type Verdict struct {
 }
 
 // ProcessDocument runs the complete workflow on one document: instrument,
-// open in a fresh monitored reader process, and collect the verdict.
-func (s *System) ProcessDocument(docID string, raw []byte) (*Verdict, error) {
+// open in a fresh monitored reader process, and collect the verdict. A panic
+// anywhere in the analysis is contained and returned as an error: hostile
+// documents fail closed instead of taking the caller down.
+func (s *System) ProcessDocument(docID string, raw []byte) (v *Verdict, err error) {
+	defer containPanic(&v, &err)
+	if analysisHook != nil {
+		analysisHook(docID)
+	}
 	res, err := s.Instrumenter.InstrumentBytes(docID, raw)
 	if err != nil {
 		if errors.Is(err, instrument.ErrNoJavaScript) {

@@ -1,0 +1,58 @@
+package soapsrv
+
+import (
+	"testing"
+)
+
+// FuzzEnvelope feeds arbitrary bytes to both envelope decoders. The SOAP
+// endpoint is reachable by any script running inside a document (SOAP.request
+// is a documented Javascript API), so the decoder must reject garbage with a
+// clean error. Successfully decoded notifications must survive a marshal
+// round trip unchanged.
+func FuzzEnvelope(f *testing.F) {
+	valid, err := MarshalNotify(Notify{Event: EventEnter, Key: "det:ik", Seq: 1, PID: 42})
+	if err != nil {
+		f.Fatal(err)
+	}
+	ack, err := MarshalAck("ok")
+	if err != nil {
+		f.Fatal(err)
+	}
+	fault, err := MarshalFault("Client", "bad request")
+	if err != nil {
+		f.Fatal(err)
+	}
+	seeds := [][]byte{
+		valid,
+		ack,
+		fault,
+		[]byte(`<Envelope><Body></Body></Envelope>`),
+		[]byte(`<?xml version="1.0"?><soap:Envelope xmlns:soap="http://schemas.xmlsoap.org/soap/envelope/"><soap:Body><Notify xmlns="urn:pdfshield:ctx"><Event>exit</Event><Key>k</Key><Seq>-1</Seq></Notify></soap:Body></soap:Envelope>`),
+		[]byte(`<a><b>&lt;</b></a>`),
+		[]byte("not xml at all"),
+		{},
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			return
+		}
+		n, err := UnmarshalNotify(data)
+		if err == nil {
+			out, merr := MarshalNotify(n)
+			if merr != nil {
+				t.Fatalf("re-marshal of accepted notify failed: %v", merr)
+			}
+			n2, derr := UnmarshalNotify(out)
+			if derr != nil {
+				t.Fatalf("round trip decode failed: %v", derr)
+			}
+			if n2 != n {
+				t.Fatalf("round trip changed notify: %+v != %+v", n2, n)
+			}
+		}
+		_, _ = UnmarshalAck(data)
+	})
+}

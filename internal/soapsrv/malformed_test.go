@@ -1,0 +1,132 @@
+package soapsrv
+
+import (
+	"bytes"
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestUnmarshalNotifyMalformed drives the envelope decoder with the
+// malformed shapes an attacker (or a broken sender) can put on the wire.
+// Every case must come back as a clean ErrEnvelope-wrapped error: the codec
+// never panics and never accepts a notification it cannot fully validate.
+func TestUnmarshalNotifyMalformed(t *testing.T) {
+	oversized := `<Envelope xmlns="http://schemas.xmlsoap.org/soap/envelope/"><Body><Notify xmlns="urn:pdfshield:ctx"><Event>enter</Event><Key>` +
+		strings.Repeat("k", 900<<10) + // big but under the server's 1 MB cap
+		`</Key><Seq>1</Seq></Notify></Body></Envelope>`
+
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"not xml", "GET / HTTP/1.1\r\n\r\n"},
+		{"truncated mid-tag", `<Envelope xmlns="http://schemas.xmlsoap.org/soap/envelope/"><Body><Notify xmlns="urn:pdfshield:ctx"><Event>enter</Eve`},
+		{"truncated before body close", `<Envelope xmlns="http://schemas.xmlsoap.org/soap/envelope/"><Body>`},
+		{"wrong envelope namespace", `<Envelope xmlns="urn:wrong"><Body><Notify xmlns="urn:pdfshield:ctx"><Event>enter</Event><Key>k</Key><Seq>1</Seq></Notify></Body></Envelope>`},
+		{"missing notify", `<Envelope xmlns="http://schemas.xmlsoap.org/soap/envelope/"><Body></Body></Envelope>`},
+		{"wrong action element", `<Envelope xmlns="http://schemas.xmlsoap.org/soap/envelope/"><Body><Subscribe xmlns="urn:pdfshield:ctx"><Event>enter</Event></Subscribe></Body></Envelope>`},
+		{"invalid event kind", `<Envelope xmlns="http://schemas.xmlsoap.org/soap/envelope/"><Body><Notify xmlns="urn:pdfshield:ctx"><Event>sideways</Event><Key>k</Key><Seq>1</Seq></Notify></Body></Envelope>`},
+		{"non-numeric seq", `<Envelope xmlns="http://schemas.xmlsoap.org/soap/envelope/"><Body><Notify xmlns="urn:pdfshield:ctx"><Event>enter</Event><Key>k</Key><Seq>NaN</Seq></Notify></Body></Envelope>`},
+		{"mismatched close tags", `<Envelope xmlns="http://schemas.xmlsoap.org/soap/envelope/"><Body><Notify xmlns="urn:pdfshield:ctx"><Event>enter</Key></Event></Notify></Body></Envelope>`},
+		{"undefined entity", `<Envelope xmlns="http://schemas.xmlsoap.org/soap/envelope/"><Body><Notify xmlns="urn:pdfshield:ctx"><Event>&bomb;</Event><Key>k</Key><Seq>1</Seq></Notify></Body></Envelope>`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			n, err := UnmarshalNotify([]byte(tc.in))
+			if err == nil {
+				t.Fatalf("accepted malformed envelope: %+v", n)
+			}
+			if !errors.Is(err, ErrEnvelope) {
+				t.Fatalf("error %v is not wrapped in ErrEnvelope", err)
+			}
+		})
+	}
+
+	// Oversized-but-under-limit bodies are legal XML: they must decode (the
+	// size cap is the HTTP server's job), proving the decoder itself has no
+	// hidden length assumptions to trip over.
+	n, err := UnmarshalNotify([]byte(oversized))
+	if err != nil {
+		t.Fatalf("oversized-but-valid envelope rejected: %v", err)
+	}
+	if n.Event != EventEnter || len(n.Key) != 900<<10 {
+		t.Fatalf("oversized envelope decoded wrong: event=%q keylen=%d", n.Event, len(n.Key))
+	}
+}
+
+// TestUnmarshalAckMalformed mirrors the malformed-input table for the
+// response direction used by the in-document SOAP client.
+func TestUnmarshalAckMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"truncated", `<Envelope xmlns="http://schemas.xmlsoap.org/soap/envelope/"><Body><Ack xmlns="urn:pdfshield:ctx"><Stat`},
+		{"missing ack", `<Envelope xmlns="http://schemas.xmlsoap.org/soap/envelope/"><Body></Body></Envelope>`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := UnmarshalAck([]byte(tc.in)); err == nil {
+				t.Fatal("accepted malformed ack")
+			} else if !errors.Is(err, ErrEnvelope) {
+				t.Fatalf("error %v is not wrapped in ErrEnvelope", err)
+			}
+		})
+	}
+}
+
+// TestServerRejectsMalformedRequests sends hostile bodies at a live server
+// and asserts each comes back as a SOAP fault (HTTP 500 with a Fault body),
+// with the server still healthy for a valid request afterwards.
+func TestServerRejectsMalformedRequests(t *testing.T) {
+	received := 0
+	srv := NewServer(func(n Notify, remote string) error {
+		received++
+		return nil
+	})
+	if err := srv.Start(); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	defer srv.Close()
+
+	post := func(body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(srv.URL(), "text/xml", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatalf("post: %v", err)
+		}
+		t.Cleanup(func() { _ = resp.Body.Close() })
+		return resp
+	}
+
+	for _, body := range []string{
+		"",
+		"garbage",
+		`<Envelope xmlns="http://schemas.xmlsoap.org/soap/envelope/"><Body><Notify xmlns="urn:pdfshield:ctx"><Event>enter</Eve`,
+		strings.Repeat("A", 2<<20), // over the 1 MB cap: truncated read, still a clean fault
+	} {
+		resp := post(body)
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("malformed body got HTTP %d, want %d", resp.StatusCode, http.StatusInternalServerError)
+		}
+	}
+	if received != 0 {
+		t.Fatalf("handler ran %d times on malformed input", received)
+	}
+
+	valid, err := MarshalNotify(Notify{Event: EventEnter, Key: "det:ik", Seq: 1, PID: 7})
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp := post(string(valid))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("valid request after malformed ones got HTTP %d", resp.StatusCode)
+	}
+	if received != 1 {
+		t.Fatalf("handler ran %d times for one valid request", received)
+	}
+}
