@@ -4,7 +4,7 @@ GO ?= go
 # internal/*/testdata/fuzz/ replay on every plain `make test` regardless.
 FUZZTIME ?= 30s
 
-.PHONY: build test race bench fuzz
+.PHONY: build test race bench bench-json fuzz
 
 build:
 	$(GO) build ./...
@@ -13,15 +13,23 @@ test:
 	$(GO) test ./...
 
 # Race-checks the concurrent surface of the batch engine: the worker-pool
-# pipeline and the shared runtime detector (includes the 50-document /
-# 8-worker mixed-corpus test).
+# pipeline, the shared runtime detector, and the content-addressed
+# front-end cache (includes the 50-document / 8-worker mixed-corpus test,
+# the duplicate-corpus cache-equivalence test, and the singleflight test).
 race:
-	$(GO) test -race ./internal/pipeline/... ./internal/detect/...
+	$(GO) test -race ./internal/pipeline/... ./internal/detect/... ./internal/cache/...
 
 # Batch-engine benchmarks: docs/sec at 1/4/8 workers plus the pooled
 # parse/serialize round trip.
 bench:
 	$(GO) test -bench 'BenchmarkProcessBatch|BenchmarkParseReuse' -benchmem .
+
+# Machine-readable batch + cache benchmark over the duplicate-heavy
+# corpus. Writes BENCH.json (commit it as BENCH_pr<N>.json to extend the
+# trajectory started by BENCH_pr3.json).
+BENCHJSON ?= BENCH.json
+bench-json:
+	$(GO) run ./cmd/pdfshield-bench -json $(BENCHJSON)
 
 # Fuzz every attacker-facing decoder for FUZZTIME each: full-document PDF
 # parsing, the stream filter codecs, the Javascript interpreter, and the

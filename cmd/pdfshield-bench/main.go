@@ -8,11 +8,25 @@
 //
 //	pdfshield-bench [-scale 0.1] [-seed 20140623] [-only table-viii]
 //	                [-out results.txt] [-list] [-workers N]
+//	                [-json bench.json] [-bench-docs 50] [-bench-unique 10]
+//	                [-cache-entries N] [-cache-bytes N] [-cache-ttl d]
+//	                [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // -workers widens the batch engine's worker pool for the corpus passes that
 // run documents through the full pipeline (Table VIII, Table IX's mimicry
 // pass, Figure 6's analysis sweep, the ablations). Verdicts are identical at
 // any width; only wall-clock changes.
+//
+// -json switches to the machine-readable batch benchmark instead of the
+// experiment suite: a duplicate-heavy corpus (-bench-docs documents over
+// -bench-unique unique carriers) is processed serial-uncached,
+// parallel-uncached and parallel-cached, and the docs/sec, cache hit rate
+// and per-phase front-end timings are written as one JSON record
+// (committed as BENCH_pr<N>.json to track the perf trajectory across PRs).
+// The -cache-* flags bound the cached pass's front-end cache.
+//
+// -cpuprofile / -memprofile write pprof profiles of whichever mode ran, so
+// perf work starts from a profile instead of a guess.
 package main
 
 import (
@@ -20,8 +34,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
+	"pdfshield/internal/cache"
 	"pdfshield/internal/experiments"
 )
 
@@ -39,6 +56,14 @@ func run() error {
 	outPath := flag.String("out", "", "also write rendered results to this file")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	workers := flag.Int("workers", 1, "worker-pool width for pipeline corpus passes (1 = serial, matching the paper; try runtime.NumCPU())")
+	jsonPath := flag.String("json", "", "write a machine-readable batch/cache benchmark record to this file (skips the experiment suite)")
+	benchDocs := flag.Int("bench-docs", 50, "total documents in the -json benchmark corpus")
+	benchUnique := flag.Int("bench-unique", 5, "unique documents in the -json benchmark corpus (the rest are byte-identical duplicates)")
+	cacheEntries := flag.Int("cache-entries", 0, "front-end cache entry cap for the -json cached pass (0 = default)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "front-end cache byte cap for the -json cached pass (0 = default)")
+	cacheTTL := flag.Duration("cache-ttl", 0, "front-end cache TTL for the -json cached pass (0 = never expires)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	if *list {
@@ -46,6 +71,37 @@ func run() error {
 			fmt.Println(exp.ID)
 		}
 		return nil
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer func() { _ = f.Close() }()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pdfshield-bench: memprofile:", err)
+				return
+			}
+			defer func() { _ = f.Close() }()
+			runtime.GC() // materialize final live-set before snapshotting
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "pdfshield-bench: memprofile:", err)
+			}
+		}()
+	}
+
+	if *jsonPath != "" {
+		cfg := cache.Config{MaxEntries: *cacheEntries, MaxBytes: *cacheBytes, TTL: *cacheTTL}
+		return runJSONBench(*jsonPath, *seed, *workers, *benchDocs, *benchUnique, cfg)
 	}
 
 	cfg := experiments.Config{Scale: *scale, Seed: *seed, Workers: *workers}

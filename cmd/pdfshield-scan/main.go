@@ -4,13 +4,18 @@
 // de-instrumentation spec for each input.
 //
 // Multiple inputs are processed concurrently by a worker pool (-workers,
-// default: the number of CPUs); reports are printed in input order.
+// default: the number of CPUs); reports are printed in input order. A
+// content-addressed cache (on by default, -cache=false to disable)
+// deduplicates identical inputs: byte-identical files are instrumented
+// once and share the result, and a summary of hits/misses/evictions is
+// printed after the scan.
 //
 // Usage:
 //
 //	pdfshield-scan [-analyze] [-out instrumented.pdf] [-spec spec.json]
 //	               [-registry registry.json] [-endpoint url]
-//	               [-workers N] input.pdf [input2.pdf ...]
+//	               [-workers N] [-cache] [-cache-entries N]
+//	               [-cache-bytes N] [-cache-ttl d] input.pdf [input2.pdf ...]
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"strings"
 	"sync"
 
+	"pdfshield/internal/cache"
 	"pdfshield/internal/instrument"
 )
 
@@ -41,6 +47,10 @@ func run() error {
 	endpoint := flag.String("endpoint", instrument.DefaultEndpoint, "detector SOAP endpoint embedded in monitoring code")
 	seed := flag.Int64("seed", 0, "randomization seed (0 = time-based)")
 	workers := flag.Int("workers", runtime.NumCPU(), "concurrent workers when scanning multiple inputs")
+	useCache := flag.Bool("cache", true, "deduplicate byte-identical inputs through the content-addressed front-end cache")
+	cacheEntries := flag.Int("cache-entries", 0, "cache entry cap (0 = default, negative = unlimited)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "cache byte cap (0 = default, negative = unlimited)")
+	cacheTTL := flag.Duration("cache-ttl", 0, "cache entry time-to-live (0 = never expires)")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
@@ -72,6 +82,14 @@ func run() error {
 	// The instrumenter and registry are safe for concurrent use; one pair
 	// serves all workers so keys stay unique across the whole scan.
 	ins := instrument.New(registry, instrument.Options{Endpoint: *endpoint, Seed: *seed})
+	var fc *cache.Cache
+	if *useCache {
+		fc = cache.New(cache.Config{
+			MaxEntries: *cacheEntries,
+			MaxBytes:   *cacheBytes,
+			TTL:        *cacheTTL,
+		})
+	}
 
 	reports := make([]string, len(inputs))
 	errs := make([]error, len(inputs))
@@ -89,7 +107,7 @@ func run() error {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				reports[i], errs[i] = scanFile(inputs[i], ins, *analyzeOnly, *outPath, *specPath)
+				reports[i], errs[i] = scanFile(inputs[i], ins, fc, *analyzeOnly, *outPath, *specPath)
 			}
 		}()
 	}
@@ -111,6 +129,11 @@ func run() error {
 			}
 		}
 	}
+	if fc != nil && !*analyzeOnly {
+		s := fc.Stats()
+		fmt.Printf("cache:             %d hits, %d shared, %d misses (%.0f%% hit rate), %d evicted, %d expired, %d resident (%d bytes)\n",
+			s.Hits, s.Shared, s.Misses, s.HitRate()*100, s.Evictions, s.Expired, s.Entries, s.Bytes)
+	}
 	if firstErr != nil {
 		return fmt.Errorf("one or more inputs failed: %w", firstErr)
 	}
@@ -124,22 +147,21 @@ func run() error {
 
 // scanFile analyzes (and optionally instruments) one input, returning its
 // rendered report. It only writes the per-input output/spec files; stdout
-// ordering is the caller's job.
-func scanFile(input string, ins *instrument.Instrumenter, analyzeOnly bool, outPath, specPath string) (string, error) {
+// ordering is the caller's job. The document is parsed exactly once for
+// analysis: embedded extraction reuses the parsed host instead of a
+// second pdf.Parse over the same bytes.
+func scanFile(input string, ins *instrument.Instrumenter, fc *cache.Cache, analyzeOnly bool, outPath, specPath string) (string, error) {
 	var sb strings.Builder
 	raw, err := os.ReadFile(input)
 	if err != nil {
 		return "", err
 	}
 
-	feats, chains, _, err := instrument.Analyze(raw)
+	feats, chains, doc, err := instrument.Analyze(raw)
 	if err != nil {
 		return "", fmt.Errorf("analyze: %w", err)
 	}
-	merged, embedded, err := instrument.AnalyzeDeep(raw)
-	if err != nil {
-		return "", fmt.Errorf("deep analyze: %w", err)
-	}
+	merged, embedded := instrument.AnalyzeDeepDoc(doc, feats)
 	fmt.Fprintf(&sb, "file:              %s (%d bytes)\n", input, len(raw))
 	fmt.Fprintf(&sb, "static features:   %s\n", feats)
 	if len(embedded) > 0 {
@@ -165,7 +187,7 @@ func scanFile(input string, ins *instrument.Instrumenter, analyzeOnly bool, outP
 		return sb.String(), nil
 	}
 
-	res, err := ins.InstrumentBytes(input, raw)
+	res, cached, err := instrumentCached(input, raw, ins, fc)
 	if err != nil {
 		return sb.String(), fmt.Errorf("instrument: %w", err)
 	}
@@ -190,6 +212,9 @@ func scanFile(input string, ins *instrument.Instrumenter, analyzeOnly bool, outP
 	}
 
 	fmt.Fprintf(&sb, "instrumented:      %s (%d scripts, %d staged rewrites, %d embedded docs)\n", out, res.ScriptsInstrumented, res.StagedRewrites, len(res.Embedded))
+	if cached {
+		fmt.Fprintf(&sb, "cache:             hit — identical to %s (hash %s)\n", res.DocID, res.ContentHash[:12])
+	}
 	if res.Key.InstrKey != "" {
 		fmt.Fprintf(&sb, "protection key:    %s\n", res.Key)
 	}
@@ -200,4 +225,20 @@ func scanFile(input string, ins *instrument.Instrumenter, analyzeOnly bool, outP
 	fmt.Fprintf(&sb, "timing:            parse %.4fs, features %.4fs, instrument %.4fs\n",
 		res.Timing.ParseDecompress.Seconds(), res.Timing.FeatureExtraction.Seconds(), res.Timing.Instrumentation.Seconds())
 	return sb.String(), nil
+}
+
+// instrumentCached routes instrumentation through the cache when enabled.
+// The content hash is computed once and feeds the cache key, the registry
+// record, and the report. cached reports whether this call skipped the
+// front-end (completed entry or shared singleflight flight).
+func instrumentCached(input string, raw []byte, ins *instrument.Instrumenter, fc *cache.Cache) (*instrument.Result, bool, error) {
+	hash := instrument.ContentHash(raw)
+	if fc == nil {
+		res, err := ins.InstrumentBytesWithHash(input, raw, hash)
+		return res, false, err
+	}
+	res, err, hit := fc.Do(hash, func() (*instrument.Result, error) {
+		return ins.InstrumentBytesWithHash(input, raw, hash)
+	})
+	return res, hit, err
 }

@@ -1,0 +1,358 @@
+// Package cache is the content-addressed front-end cache: it remembers
+// the outcome of the static front-end (parse → decompress → chain
+// reconstruction → instrumentation) per SHA-256 of the submitted bytes,
+// so resubmitted and duplicated documents skip the per-document hot path.
+//
+// Real PDF malware corpora are dominated by near- and exact-duplicate
+// samples (polymorphic campaigns reuse carriers), which makes the
+// front-end the scaling bottleneck once the batch engine widens. The
+// cache stores the completed instrument.Result — features, chains,
+// instrumented output bytes, embedded results — plus terminal front-end
+// errors such as instrument.ErrNoJavaScript. It deliberately does NOT
+// store verdicts: the runtime features F8–F13 depend on what the
+// document does in the reader process at open time, so runtime detection
+// runs on every open and only the static artifact is reused.
+//
+// Concurrency: keys are sharded across independently-locked shards, and
+// a singleflight layer guarantees that N concurrent submissions of
+// identical bytes perform exactly one front-end pass — the followers
+// block on the leader's flight and share its result.
+package cache
+
+import (
+	"container/list"
+	"errors"
+	"sync"
+	"time"
+
+	"pdfshield/internal/instrument"
+)
+
+// Defaults applied by New when the corresponding Config field is zero.
+const (
+	DefaultMaxEntries = 4096
+	DefaultMaxBytes   = 256 << 20 // 256 MB of cached instrumented output
+	DefaultShards     = 16
+)
+
+// entryOverhead approximates the fixed per-entry bookkeeping cost (maps,
+// list element, Result struct) charged on top of the payload bytes.
+const entryOverhead = 512
+
+// ErrFlightAborted is returned to singleflight followers whose leader's
+// front-end pass panicked before producing a result. The panic itself
+// propagates on the leader's goroutine (pipeline containment fails the
+// leader's document closed); followers fail closed with this error.
+var ErrFlightAborted = errors.New("cache: front-end flight aborted")
+
+// Config tunes a Cache.
+type Config struct {
+	// MaxEntries bounds the total number of cached documents (0 =
+	// DefaultMaxEntries, negative = unlimited).
+	MaxEntries int
+	// MaxBytes bounds the total payload bytes retained (0 =
+	// DefaultMaxBytes, negative = unlimited).
+	MaxBytes int64
+	// TTL expires entries this long after they are stored (0 = never).
+	TTL time.Duration
+	// Shards is the number of independently-locked shards (0 =
+	// DefaultShards).
+	Shards int
+	// Now overrides the clock (tests); nil = time.Now.
+	Now func() time.Time
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	// Hits counts lookups served from a completed entry.
+	Hits uint64 `json:"hits"`
+	// Misses counts lookups that ran the front-end (singleflight leaders).
+	Misses uint64 `json:"misses"`
+	// Shared counts singleflight followers served by a leader's in-flight
+	// front-end pass (work avoided without a stored entry yet).
+	Shared uint64 `json:"shared"`
+	// Evictions counts entries dropped by the LRU capacity bounds.
+	Evictions uint64 `json:"evictions"`
+	// Expired counts entries dropped because their TTL lapsed.
+	Expired uint64 `json:"expired"`
+	// Entries and Bytes describe the current residency.
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+}
+
+// HitRate is the fraction of lookups that avoided a front-end pass.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Shared + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Shared) / float64(total)
+}
+
+// entry is one cached front-end outcome. Exactly the pair the front-end
+// hands back: ErrNoJavaScript arrives with a non-nil Result, parse
+// failures with a nil one.
+type entry struct {
+	key     string
+	res     *instrument.Result
+	err     error
+	size    int64
+	expires time.Time // zero = never
+	elem    *list.Element
+}
+
+// flight is an in-progress front-end pass other submitters can join.
+type flight struct {
+	done chan struct{}
+	res  *instrument.Result
+	err  error
+}
+
+type shard struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+	lru     *list.List // front = most recently used
+	flights map[string]*flight
+	bytes   int64
+
+	hits, misses, shared, evictions, expired uint64
+}
+
+// Cache is a sharded, content-addressed front-end cache.
+type Cache struct {
+	shards     []*shard
+	maxEntries int   // per shard (<=0 = unlimited)
+	maxBytes   int64 // per shard (<=0 = unlimited)
+	ttl        time.Duration
+	now        func() time.Time
+}
+
+// New builds a cache from cfg (zero values take the package defaults).
+func New(cfg Config) *Cache {
+	nshards := cfg.Shards
+	if nshards <= 0 {
+		nshards = DefaultShards
+	}
+	maxEntries := cfg.MaxEntries
+	if maxEntries == 0 {
+		maxEntries = DefaultMaxEntries
+	}
+	maxBytes := cfg.MaxBytes
+	if maxBytes == 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	c := &Cache{
+		shards: make([]*shard, nshards),
+		ttl:    cfg.TTL,
+		now:    now,
+	}
+	// Capacity bounds are split evenly across shards; each shard evicts
+	// independently, so the totals hold without a global lock.
+	if maxEntries > 0 {
+		c.maxEntries = (maxEntries + nshards - 1) / nshards
+	}
+	if maxBytes > 0 {
+		c.maxBytes = (maxBytes + int64(nshards) - 1) / int64(nshards)
+	}
+	for i := range c.shards {
+		c.shards[i] = &shard{
+			entries: make(map[string]*entry),
+			lru:     list.New(),
+			flights: make(map[string]*flight),
+		}
+	}
+	return c
+}
+
+// shardFor picks the shard for a key. Keys are hex SHA-256 digests, so
+// the leading bytes are already uniformly distributed — an FNV-1a over
+// the first 8 runes spreads them without rehashing the whole digest.
+func (c *Cache) shardFor(key string) *shard {
+	h := uint32(2166136261)
+	n := len(key)
+	if n > 8 {
+		n = 8
+	}
+	for i := 0; i < n; i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return c.shards[h%uint32(len(c.shards))]
+}
+
+// Get returns the cached outcome for key, if present and fresh. The
+// third return reports whether the lookup hit. Get never joins a flight;
+// use Do for the full read-through path.
+func (c *Cache) Get(key string) (*instrument.Result, error, bool) {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.lookupLocked(key, c.now())
+	if !ok {
+		sh.misses++
+		return nil, nil, false
+	}
+	sh.hits++
+	return e.res, e.err, true
+}
+
+// Do is the read-through entry point: a fresh entry is returned at once;
+// otherwise the first caller for a key becomes the singleflight leader,
+// runs fn exactly once and stores the outcome, while concurrent callers
+// for the same key block on the leader and share its result. The third
+// return reports whether the caller avoided running fn (completed entry
+// or shared flight).
+func (c *Cache) Do(key string, fn func() (*instrument.Result, error)) (*instrument.Result, error, bool) {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	if e, ok := sh.lookupLocked(key, c.now()); ok {
+		sh.hits++
+		sh.mu.Unlock()
+		return e.res, e.err, true
+	}
+	if f, ok := sh.flights[key]; ok {
+		sh.shared++
+		sh.mu.Unlock()
+		<-f.done
+		return f.res, f.err, true
+	}
+	f := &flight{done: make(chan struct{}), err: ErrFlightAborted}
+	sh.flights[key] = f
+	sh.misses++
+	sh.mu.Unlock()
+
+	// If fn panics, the deferred cleanup publishes ErrFlightAborted to the
+	// followers (so nobody blocks forever) and lets the panic continue to
+	// unwind the leader — pipeline containment fails that document closed.
+	completed := false
+	defer func() {
+		sh.mu.Lock()
+		delete(sh.flights, key)
+		if completed {
+			sh.storeLocked(c, key, f.res, f.err)
+		}
+		sh.mu.Unlock()
+		close(f.done)
+	}()
+	f.res, f.err = fn()
+	completed = true
+	return f.res, f.err, false
+}
+
+// Invalidate drops the entry for key, if any. De-instrumentation calls
+// this: once a benign document's registry record is removed, its cached
+// Result holds a dead protection key and must not be replayed.
+func (c *Cache) Invalidate(key string) {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e, ok := sh.entries[key]; ok {
+		sh.removeLocked(e)
+	}
+}
+
+// Stats sums a snapshot over all shards.
+func (c *Cache) Stats() Stats {
+	var s Stats
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		s.Hits += sh.hits
+		s.Misses += sh.misses
+		s.Shared += sh.shared
+		s.Evictions += sh.evictions
+		s.Expired += sh.expired
+		s.Entries += len(sh.entries)
+		s.Bytes += sh.bytes
+		sh.mu.Unlock()
+	}
+	return s
+}
+
+// Len returns the number of resident entries.
+func (c *Cache) Len() int {
+	n := 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// lookupLocked finds a fresh entry, expiring it lazily if its TTL lapsed,
+// and promotes hits to the LRU front.
+func (sh *shard) lookupLocked(key string, now time.Time) (*entry, bool) {
+	e, ok := sh.entries[key]
+	if !ok {
+		return nil, false
+	}
+	if !e.expires.IsZero() && now.After(e.expires) {
+		sh.removeLocked(e)
+		sh.expired++
+		return nil, false
+	}
+	sh.lru.MoveToFront(e.elem)
+	return e, true
+}
+
+// storeLocked inserts an outcome and evicts from the LRU tail until the
+// shard is back under both capacity bounds.
+func (sh *shard) storeLocked(c *Cache, key string, res *instrument.Result, err error) {
+	if old, ok := sh.entries[key]; ok {
+		// A racing Invalidate+Do can re-store; replace, don't double-count.
+		sh.removeLocked(old)
+	}
+	e := &entry{key: key, res: res, err: err, size: resultSize(res)}
+	if c.maxBytes > 0 && e.size > c.maxBytes {
+		// Larger than the whole shard budget: caching it would evict
+		// everything for one resident; skip it.
+		return
+	}
+	if c.ttl > 0 {
+		e.expires = c.now().Add(c.ttl)
+	}
+	e.elem = sh.lru.PushFront(e)
+	sh.entries[key] = e
+	sh.bytes += e.size
+	for (c.maxEntries > 0 && len(sh.entries) > c.maxEntries) ||
+		(c.maxBytes > 0 && sh.bytes > c.maxBytes) {
+		tail := sh.lru.Back()
+		if tail == nil {
+			break
+		}
+		victim := tail.Value.(*entry)
+		if victim == e {
+			break // never evict the entry just stored
+		}
+		sh.removeLocked(victim)
+		sh.evictions++
+	}
+}
+
+func (sh *shard) removeLocked(e *entry) {
+	delete(sh.entries, e.key)
+	sh.lru.Remove(e.elem)
+	sh.bytes -= e.size
+}
+
+// resultSize approximates the retained payload of one cached outcome:
+// the instrumented output, the de-instrumentation spec's saved originals,
+// and the same for every embedded result, plus fixed overhead.
+func resultSize(res *instrument.Result) int64 {
+	size := int64(entryOverhead)
+	if res == nil {
+		return size
+	}
+	size += int64(len(res.Output))
+	for _, se := range res.Spec.Entries {
+		size += int64(len(se.Original))
+	}
+	for _, emb := range res.Embedded {
+		size += resultSize(emb)
+	}
+	return size
+}

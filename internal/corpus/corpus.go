@@ -240,6 +240,40 @@ func padDocument(raw []byte, target int) []byte {
 	return raw
 }
 
+// BenignAttachments builds a scriptless compound document: a host carrying
+// n scriptless PDF attachments as /EmbeddedFile streams, optionally
+// owner-password encrypted. This is the report-plus-annexes shape common in
+// enterprise mail flow; the front-end must parse the host, strip the owner
+// password, and recursively analyze every attachment before it can conclude
+// there is no Javascript anywhere, which makes the family the deepest
+// all-static workload the corpus offers.
+func (g *Generator) BenignAttachments(n int, encrypted bool) Sample {
+	if n < 1 {
+		n = 1
+	}
+	inner := make([][]byte, n)
+	for i := range inner {
+		raw, err := buildDoc(g.rng, docSpec{pages: 1 + i%2, contentBytes: (6 + 4*(i%3)) << 10})
+		if err != nil {
+			panic("corpus: benign attachments: " + err.Error())
+		}
+		inner[i] = raw
+	}
+	spec := docSpec{
+		pages:        2,
+		contentBytes: 10 << 10,
+		embedPDFs:    inner,
+	}
+	if encrypted {
+		spec.ownerPassword = fmt.Sprintf("owner-%04d", g.rng.Intn(10000))
+	}
+	raw, err := buildDoc(g.rng, spec)
+	if err != nil {
+		panic("corpus: benign attachments: " + err.Error())
+	}
+	return Sample{ID: g.id("benign-attach"), Raw: raw, Label: LabelBenign, Family: "benign-attachments", Outcome: OutcomeHarmless}
+}
+
 // BenignEncrypted builds an owner-password (view-only) benign document.
 func (g *Generator) BenignEncrypted() Sample {
 	spec := docSpec{

@@ -79,6 +79,15 @@ func AnalyzeDeep(raw []byte) (merged StaticFeatures, embedded []StaticFeatures, 
 	if err != nil {
 		return StaticFeatures{}, nil, err
 	}
+	merged, embedded = AnalyzeDeepDoc(doc, host)
+	return merged, embedded, nil
+}
+
+// AnalyzeDeepDoc is AnalyzeDeep for a host document that is already parsed
+// and analyzed: callers that ran Analyze keep its *pdf.Document and host
+// features instead of re-parsing the same bytes. Embedded payloads are
+// parsed individually (their bytes are distinct from the host's).
+func AnalyzeDeepDoc(doc *pdf.Document, host StaticFeatures) (merged StaticFeatures, embedded []StaticFeatures) {
 	for _, emb := range ExtractEmbeddedPDFs(doc) {
 		ef, _, _, err := Analyze(emb.Raw)
 		if err != nil {
@@ -86,7 +95,7 @@ func AnalyzeDeep(raw []byte) (merged StaticFeatures, embedded []StaticFeatures, 
 		}
 		embedded = append(embedded, ef)
 	}
-	return MergeFeatures(host, embedded...), embedded, nil
+	return MergeFeatures(host, embedded...), embedded
 }
 
 // EmbeddedDocID names an embedded document for registry and alerts.
@@ -104,7 +113,7 @@ func (ins *Instrumenter) instrumentEmbedded(hostID string, doc *pdf.Document, de
 	var results []*Result
 	for i, emb := range ExtractEmbeddedPDFs(doc) {
 		id := EmbeddedDocID(hostID, i)
-		res, err := ins.instrumentBytesDepth(id, emb.Raw, depth+1)
+		res, err := ins.instrumentBytesDepth(id, emb.Raw, "", depth+1)
 		if err != nil {
 			if errors.Is(err, ErrNoJavaScript) {
 				continue // scriptless attachment: leave as-is

@@ -115,6 +115,10 @@ type DeinstrumentSpec struct {
 // Result is the outcome of instrumenting one document.
 type Result struct {
 	DocID string
+	// ContentHash is the SHA-256 of the pre-instrumentation bytes — the
+	// document's registry identity and the front-end cache key. Computed
+	// once per submission and threaded through (registry record, cache).
+	ContentHash string
 	// Key is the full protection key for this document.
 	Key Key
 	// Features are the five static features extracted during analysis.
@@ -153,22 +157,35 @@ func ContentHash(raw []byte) string {
 
 // Analyze parses raw bytes and extracts static features without modifying
 // the document. Used for feature studies (Figure 6, Table VI) and by
-// baseline detectors.
+// baseline detectors. The parsed document is returned so callers can keep
+// working on it (validation, embedded extraction) without re-parsing.
 func Analyze(raw []byte) (StaticFeatures, pdf.ChainSet, *pdf.Document, error) {
 	doc, err := pdf.Parse(raw, pdf.ParseOptions{})
 	if err != nil {
 		return StaticFeatures{}, pdf.ChainSet{}, nil, err
 	}
+	feats, chains, err := AnalyzeDoc(doc)
+	if err != nil {
+		return StaticFeatures{}, pdf.ChainSet{}, nil, err
+	}
+	return feats, chains, doc, nil
+}
+
+// AnalyzeDoc extracts static features from an already-parsed document,
+// letting callers that parsed once reuse the document instead of paying a
+// second parse over the same bytes. Encrypted documents have their owner
+// password removed in place, exactly as Analyze would.
+func AnalyzeDoc(doc *pdf.Document) (StaticFeatures, pdf.ChainSet, error) {
 	if doc.IsEncrypted() {
 		if err := pdf.RemoveOwnerPassword(doc); err != nil {
-			return StaticFeatures{}, pdf.ChainSet{}, nil, err
+			return StaticFeatures{}, pdf.ChainSet{}, err
 		}
 	}
 	chains, err := pdf.ReconstructChains(doc)
 	if err != nil {
-		return StaticFeatures{}, pdf.ChainSet{}, nil, err
+		return StaticFeatures{}, pdf.ChainSet{}, err
 	}
-	return ExtractFeatures(doc, chains), chains, doc, nil
+	return ExtractFeatures(doc, chains), chains, nil
 }
 
 // InstrumentBytes runs the complete front-end pipeline over raw document
@@ -177,11 +194,23 @@ func Analyze(raw []byte) (StaticFeatures, pdf.ChainSet, *pdf.Document, error) {
 // chain, and recursively instrument embedded PDF documents. Documents with
 // no Javascript anywhere return ErrNoJavaScript.
 func (ins *Instrumenter) InstrumentBytes(docID string, raw []byte) (*Result, error) {
-	return ins.instrumentBytesDepth(docID, raw, 0)
+	return ins.instrumentBytesDepth(docID, raw, "", 0)
 }
 
-func (ins *Instrumenter) instrumentBytesDepth(docID string, raw []byte, depth int) (*Result, error) {
-	hash := ContentHash(raw)
+// InstrumentBytesWithHash is InstrumentBytes for callers that already
+// computed ContentHash(raw) — the front-end cache keys by it before
+// calling in — so each submission is hashed exactly once.
+func (ins *Instrumenter) InstrumentBytesWithHash(docID string, raw []byte, hash string) (*Result, error) {
+	return ins.instrumentBytesDepth(docID, raw, hash, 0)
+}
+
+// instrumentBytesDepth is the recursive front-end worker. hash is the
+// precomputed ContentHash of raw ("" = compute here; embedded recursion
+// always computes, the bytes differ from the host's).
+func (ins *Instrumenter) instrumentBytesDepth(docID string, raw []byte, hash string, depth int) (*Result, error) {
+	if hash == "" {
+		hash = ContentHash(raw)
+	}
 	if ins.registry.SeenHash(hash) {
 		return nil, fmt.Errorf("%s: %w", docID, ErrDuplicate)
 	}
@@ -216,6 +245,7 @@ func (ins *Instrumenter) instrumentBytesDepth(docID string, raw []byte, depth in
 	if !chains.HasJavaScript() {
 		res := &Result{
 			DocID:       docID,
+			ContentHash: hash,
 			Features:    features,
 			Chains:      chains,
 			Output:      raw,
@@ -247,6 +277,7 @@ func (ins *Instrumenter) instrumentBytesDepth(docID string, raw []byte, depth in
 
 	res := &Result{
 		DocID:                docID,
+		ContentHash:          hash,
 		Key:                  key,
 		Features:             features,
 		Chains:               chains,
@@ -399,11 +430,12 @@ func (ins *Instrumenter) replaceScript(doc *pdf.Document, chain *pdf.JSChain, ne
 	return nil
 }
 
-// Deinstrument restores a document to its pre-instrumentation scripts using
-// the exported spec and removes its registry entry. The paper runs this in
-// the background once a document has been classified benign, so that known
-// documents stop paying the monitoring cost.
-func (ins *Instrumenter) Deinstrument(raw []byte, spec DeinstrumentSpec) ([]byte, error) {
+// Restore rewrites an instrumented document back to its original scripts
+// using the exported spec, without touching the registry. Callers that
+// must keep the protection key alive a little longer (the pipeline, while
+// concurrent opens of the same cached document are still in flight) call
+// Restore now and Forget when the last user releases the key.
+func (ins *Instrumenter) Restore(raw []byte, spec DeinstrumentSpec) ([]byte, error) {
 	doc, err := pdf.Parse(raw, pdf.ParseOptions{})
 	if err != nil {
 		return nil, fmt.Errorf("deinstrument parse: %w", err)
@@ -418,6 +450,24 @@ func (ins *Instrumenter) Deinstrument(raw []byte, spec DeinstrumentSpec) ([]byte
 	out, err := pdf.Write(doc, pdf.WriteOptions{})
 	if err != nil {
 		return nil, fmt.Errorf("deinstrument write: %w", err)
+	}
+	return out, nil
+}
+
+// Forget removes a document's registry record, completing a
+// de-instrumentation started with Restore.
+func (ins *Instrumenter) Forget(instrKey string) {
+	ins.registry.Remove(instrKey)
+}
+
+// Deinstrument restores a document to its pre-instrumentation scripts using
+// the exported spec and removes its registry entry. The paper runs this in
+// the background once a document has been classified benign, so that known
+// documents stop paying the monitoring cost.
+func (ins *Instrumenter) Deinstrument(raw []byte, spec DeinstrumentSpec) ([]byte, error) {
+	out, err := ins.Restore(raw, spec)
+	if err != nil {
+		return nil, err
 	}
 	ins.registry.Remove(spec.InstrKey)
 	return out, nil

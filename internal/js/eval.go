@@ -278,21 +278,26 @@ func (it *Interp) storeTo(target Expr, v Value, sc *Scope) error {
 func (it *Interp) binaryOp(op string, l, r Value) (Value, error) {
 	switch op {
 	case "+":
+		if l.IsString() && r.IsString() {
+			// Both unit counts are already cached and UTF-16 length is
+			// additive over concatenation, so the result needs no rescan.
+			return it.newStringUnits(l.str+r.str, l.strLen+r.strLen)
+		}
 		if l.IsString() || r.IsString() ||
 			(l.IsObject() && !r.IsObject()) || (r.IsObject() && !l.IsObject()) ||
 			(l.IsObject() && r.IsObject()) {
-			ls, err := valueToString(it, l)
+			ls, lu, err := valueToStringUnits(it, l)
 			if err != nil {
 				return Undefined(), err
 			}
-			rs, err := valueToString(it, r)
+			rs, ru, err := valueToStringUnits(it, r)
 			if err != nil {
 				return Undefined(), err
 			}
 			// Objects that are not arrays/strings still concatenate via
 			// their string form, matching ES ToPrimitive-with-string hint
 			// closely enough for document scripts.
-			return it.newString(ls + rs)
+			return it.newStringUnits(ls+rs, lu+ru)
 		}
 		return NumberValue(l.ToNumber() + r.ToNumber()), nil
 	case "-":

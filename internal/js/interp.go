@@ -192,10 +192,18 @@ func (it *Interp) alloc(delta int64) error {
 // newString wraps a string with heap accounting (two bytes per UTF-16
 // unit, as in real engines).
 func (it *Interp) newString(s string) (Value, error) {
+	return it.newStringUnits(s, utf16Len(s))
+}
+
+// newStringUnits is newString for callers that already know the UTF-16
+// length (concatenation: unit counts are additive, and both operands carry
+// theirs). Skipping the recount turns spray-style concat loops from
+// rescanning every byte of the growing string into pure copies.
+func (it *Interp) newStringUnits(s string, units int) (Value, error) {
 	if len(s) > maxStringLen {
 		return Undefined(), ErrHeapLimit
 	}
-	v := StringValue(s)
+	v := Value{kind: KindString, str: s, strLen: units}
 	if err := it.alloc(int64(v.strLen) * 2); err != nil {
 		return Undefined(), err
 	}
@@ -656,6 +664,20 @@ func ToDisplay(v Value) string {
 		return "<error>"
 	}
 	return s
+}
+
+// valueToStringUnits is valueToString plus the result's UTF-16 unit count,
+// reusing the cached count for string values so concatenation never
+// rescans an operand it already measured.
+func valueToStringUnits(it *Interp, v Value) (string, int, error) {
+	if v.IsString() {
+		return v.str, v.strLen, nil
+	}
+	s, err := valueToString(it, v)
+	if err != nil {
+		return "", 0, err
+	}
+	return s, utf16Len(s), nil
 }
 
 // valueToString implements ToString; it may need the interpreter for

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 
+	"pdfshield/internal/cache"
 	"pdfshield/internal/instrument"
 )
 
@@ -32,6 +33,9 @@ type BatchOptions struct {
 type BatchResult struct {
 	Verdicts []*Verdict
 	Errors   []error
+	// CacheStats snapshots the front-end cache after the batch (nil when
+	// the system runs without a cache).
+	CacheStats *cache.Stats
 }
 
 // Failed counts documents that ended in an error.
@@ -60,6 +64,11 @@ func (s *System) ProcessBatch(docs []BatchDoc, opts BatchOptions) *BatchResult {
 		Verdicts: make([]*Verdict, len(docs)),
 		Errors:   make([]error, len(docs)),
 	}
+	defer func() {
+		if stats, ok := s.CacheStats(); ok {
+			out.CacheStats = &stats
+		}
+	}()
 	if len(docs) == 0 {
 		return out
 	}
@@ -69,6 +78,23 @@ func (s *System) ProcessBatch(docs []BatchDoc, opts BatchOptions) *BatchResult {
 	}
 	if workers > len(docs) {
 		workers = len(docs)
+	}
+
+	if workers == 1 {
+		// Serial batches skip the worker pool: a channel round-trip per
+		// document costs more than the whole front-end cache hit path, so
+		// the single-worker case (the paper's configuration, and any
+		// single-CPU host) runs the same per-document code inline.
+		var sess *Session
+		defer func() {
+			if sess != nil {
+				sess.Close()
+			}
+		}()
+		for i := range docs {
+			out.Verdicts[i], out.Errors[i] = s.processWithSession(&sess, docs[i])
+		}
+		return out
 	}
 
 	jobs := make(chan int)
@@ -115,7 +141,7 @@ func (s *System) processWithSession(sess **Session, doc BatchDoc) (v *Verdict, e
 	if analysisHook != nil {
 		analysisHook(doc.ID)
 	}
-	res, err := s.Instrumenter.InstrumentBytes(doc.ID, doc.Raw)
+	res, err := s.frontEnd(doc.ID, doc.Raw)
 	if err != nil {
 		if errors.Is(err, instrument.ErrNoJavaScript) {
 			return &Verdict{DocID: doc.ID, NoJavaScript: true, Instrument: res}, nil
@@ -131,5 +157,7 @@ func (s *System) processWithSession(sess **Session, doc BatchDoc) (v *Verdict, e
 	} else {
 		(*sess).Recycle()
 	}
-	return s.openAndJudge(*sess, res)
+	v, err = s.openAndJudge(*sess, res)
+	claimVerdict(v, doc.ID)
+	return v, err
 }

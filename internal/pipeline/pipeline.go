@@ -9,7 +9,9 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 
+	"pdfshield/internal/cache"
 	"pdfshield/internal/detect"
 	"pdfshield/internal/hook"
 	"pdfshield/internal/instrument"
@@ -34,6 +36,12 @@ type Options struct {
 	W1, W2, Threshold int
 	// SpawnHelper makes reader processes emit the benign AdobeARM spawn.
 	SpawnHelper bool
+	// Cache enables the content-addressed front-end cache (nil = off).
+	// On a hit the whole static front-end is skipped and the stored
+	// instrument.Result is reused; runtime detection still runs per open,
+	// because the runtime features F8–F13 depend on each open's behaviour
+	// — the cache holds the static artifact, never the verdict.
+	Cache *cache.Config
 }
 
 // System is a running instance of the whole protection stack.
@@ -43,7 +51,27 @@ type System struct {
 	Detector     *detect.Detector
 	OS           *winos.OS
 
-	opts Options
+	opts  Options
+	cache *cache.Cache
+
+	// keyLocks serializes reader opens per instrumentation key. Without a
+	// cache the registry's duplicate rule makes each key's open unique;
+	// with one, N cached submissions of the same bytes open the same key
+	// concurrently, and the detector's per-key DocState (malscore, memory
+	// watermarks) must see those opens one at a time to keep verdicts
+	// equal to serial runs. The table also carries the deferred retire of
+	// de-instrumented keys (see releaseKeyLock).
+	klMu     sync.Mutex
+	keyLocks map[string]*keyLock
+}
+
+// keyLock is one instrumentation key's open gate.
+type keyLock struct {
+	mu   sync.Mutex
+	refs int
+	// retire requests registry removal + cache invalidation once the last
+	// in-flight open of this key releases (set by de-instrumentation).
+	retire bool
 }
 
 // NewSystem builds and starts the stack.
@@ -79,13 +107,87 @@ func NewSystem(opts Options) (*System, error) {
 		Endpoint: det.SOAPURL(),
 		Seed:     opts.Seed,
 	})
-	return &System{
+	sys := &System{
 		Registry:     registry,
 		Instrumenter: ins,
 		Detector:     det,
 		OS:           osState,
 		opts:         opts,
-	}, nil
+		keyLocks:     make(map[string]*keyLock),
+	}
+	if opts.Cache != nil {
+		sys.cache = cache.New(*opts.Cache)
+	}
+	return sys, nil
+}
+
+// CacheStats snapshots the front-end cache counters; ok is false when the
+// cache is disabled.
+func (s *System) CacheStats() (stats cache.Stats, ok bool) {
+	if s.cache == nil {
+		return cache.Stats{}, false
+	}
+	return s.cache.Stats(), true
+}
+
+// frontEnd runs the static front-end for one submission: a single
+// ContentHash per document, then either the instrumenter directly or the
+// content-addressed cache's singleflight read-through. Cached terminal
+// errors (ErrNoJavaScript, parse failures, the registry's ErrDuplicate)
+// replay exactly as the first submission observed them.
+func (s *System) frontEnd(docID string, raw []byte) (*instrument.Result, error) {
+	hash := instrument.ContentHash(raw)
+	if s.cache == nil {
+		return s.Instrumenter.InstrumentBytesWithHash(docID, raw, hash)
+	}
+	res, err, _ := s.cache.Do(hash, func() (*instrument.Result, error) {
+		return s.Instrumenter.InstrumentBytesWithHash(docID, raw, hash)
+	})
+	return res, err
+}
+
+// acquireKeyLock takes the open gate for an instrumentation key, creating
+// it on first use.
+func (s *System) acquireKeyLock(key string) *keyLock {
+	s.klMu.Lock()
+	kl, ok := s.keyLocks[key]
+	if !ok {
+		kl = &keyLock{}
+		s.keyLocks[key] = kl
+	}
+	kl.refs++
+	s.klMu.Unlock()
+	kl.mu.Lock()
+	return kl
+}
+
+// releaseKeyLock releases the gate; the last holder of a retired key
+// completes its de-instrumentation (registry removal, so the key stops
+// validating, and cache invalidation, so the stale instrumented artifact
+// is never replayed).
+func (s *System) releaseKeyLock(key string, kl *keyLock, res *instrument.Result) {
+	kl.mu.Unlock()
+	s.klMu.Lock()
+	kl.refs--
+	last := kl.refs == 0
+	retire := last && kl.retire
+	if last {
+		delete(s.keyLocks, key)
+	}
+	s.klMu.Unlock()
+	if retire {
+		s.Instrumenter.Forget(key)
+		if s.cache != nil {
+			s.cache.Invalidate(res.ContentHash)
+		}
+	}
+}
+
+// markRetire flags a key for removal at last release.
+func (s *System) markRetire(kl *keyLock) {
+	s.klMu.Lock()
+	kl.retire = true
+	s.klMu.Unlock()
 }
 
 // Close stops the detector servers.
@@ -176,7 +278,7 @@ func (s *System) ProcessDocument(docID string, raw []byte) (v *Verdict, err erro
 	if analysisHook != nil {
 		analysisHook(docID)
 	}
-	res, err := s.Instrumenter.InstrumentBytes(docID, raw)
+	res, err := s.frontEnd(docID, raw)
 	if err != nil {
 		if errors.Is(err, instrument.ErrNoJavaScript) {
 			return &Verdict{DocID: docID, NoJavaScript: true, Instrument: res}, nil
@@ -188,7 +290,19 @@ func (s *System) ProcessDocument(docID string, raw []byte) (v *Verdict, err erro
 		return nil, err
 	}
 	defer sess.Close()
-	return s.openAndJudge(sess, res)
+	v, err = s.openAndJudge(sess, res)
+	claimVerdict(v, docID)
+	return v, err
+}
+
+// claimVerdict renames a verdict to the submitting document's identity: a
+// cached front-end result carries the first submitter's DocID (that is
+// the name the registry, and therefore runtime alerts, know the content
+// by), but the verdict belongs to this submission.
+func claimVerdict(v *Verdict, docID string) {
+	if v != nil && v.DocID != docID {
+		v.DocID = docID
+	}
 }
 
 // openAndJudge opens an instrumented document (and its instrumented
@@ -198,6 +312,15 @@ func (s *System) ProcessDocument(docID string, raw []byte) (v *Verdict, err erro
 func (s *System) openAndJudge(sess *Session, res *instrument.Result) (*Verdict, error) {
 	docID := res.DocID
 	v := &Verdict{DocID: docID, Instrument: res}
+
+	// Opens of the same instrumentation key are serialized: the detector
+	// keeps one DocState per key, and cached duplicates running in
+	// parallel sessions would interleave their runtime state otherwise.
+	var kl *keyLock
+	if key := res.Key.InstrKey; key != "" {
+		kl = s.acquireKeyLock(key)
+		defer s.releaseKeyLock(key, kl, res)
+	}
 
 	openRes, err := sess.Open(res, reader.OpenOptions{SpawnHelper: s.opts.SpawnHelper})
 	if err != nil {
@@ -242,11 +365,16 @@ func (s *System) openAndJudge(sess *Session, res *instrument.Result) (*Verdict, 
 	s.Detector.ForgetDoc(res.Key.InstrKey)
 
 	if !v.Malicious && s.opts.DeinstrumentBenign && res.ScriptsInstrumented > 0 {
-		restored, err := s.Instrumenter.Deinstrument(res.Output, res.Spec)
+		restored, err := s.Instrumenter.Restore(res.Output, res.Spec)
 		if err != nil {
 			return nil, fmt.Errorf("deinstrument %s: %w", docID, err)
 		}
 		v.Deinstrumented = restored
+		// Registry removal and cache invalidation wait until the last
+		// in-flight open of this key releases: a concurrent duplicate that
+		// already holds this Result must still validate against the
+		// registry, or its monitoring messages would read as fake.
+		s.markRetire(kl)
 	}
 	return v, nil
 }

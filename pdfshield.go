@@ -26,10 +26,11 @@ package pdfshield
 import (
 	"errors"
 	"fmt"
+	"time"
 
+	"pdfshield/internal/cache"
 	"pdfshield/internal/detect"
 	"pdfshield/internal/instrument"
-	"pdfshield/internal/pdf"
 	"pdfshield/internal/pipeline"
 	"pdfshield/internal/reader"
 )
@@ -48,6 +49,74 @@ type Options struct {
 	// DeinstrumentBenign restores original scripts once a document is
 	// classified benign (§III-F).
 	DeinstrumentBenign bool
+	// Cache enables the content-addressed front-end cache (nil = off):
+	// documents are keyed by the SHA-256 of their bytes, and resubmitted
+	// or duplicated documents reuse the completed static front-end
+	// (parse, feature extraction, chain reconstruction, instrumentation)
+	// instead of repeating it. Runtime detection still runs per open —
+	// verdicts are never cached, only the static artifact.
+	Cache *CacheConfig
+}
+
+// CacheConfig bounds the front-end cache. Zero values take the built-in
+// defaults (4096 entries, 256 MB, no expiry); negative caps disable the
+// corresponding bound.
+type CacheConfig struct {
+	// MaxEntries caps the number of cached documents.
+	MaxEntries int
+	// MaxBytes caps the total retained payload bytes.
+	MaxBytes int64
+	// TTL expires entries this long after insertion (0 = never).
+	TTL time.Duration
+}
+
+// CacheStats is a point-in-time snapshot of the front-end cache counters.
+type CacheStats struct {
+	// Hits counts submissions served from a completed cache entry.
+	Hits uint64 `json:"hits"`
+	// Misses counts submissions that ran the full static front-end.
+	Misses uint64 `json:"misses"`
+	// Shared counts submissions that joined another submission's
+	// in-flight front-end pass (the singleflight layer).
+	Shared uint64 `json:"shared"`
+	// Evictions and Expired count entries dropped by the capacity bounds
+	// and by TTL expiry.
+	Evictions uint64 `json:"evictions"`
+	Expired   uint64 `json:"expired"`
+	// Entries and Bytes describe current residency.
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+}
+
+// HitRate is the fraction of submissions that skipped the front-end.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Shared + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Shared) / float64(total)
+}
+
+func toCacheStats(in cache.Stats) CacheStats {
+	return CacheStats{
+		Hits:      in.Hits,
+		Misses:    in.Misses,
+		Shared:    in.Shared,
+		Evictions: in.Evictions,
+		Expired:   in.Expired,
+		Entries:   in.Entries,
+		Bytes:     in.Bytes,
+	}
+}
+
+// CacheStats snapshots the front-end cache; ok is false when the system
+// runs without one.
+func (s *System) CacheStats() (stats CacheStats, ok bool) {
+	inner, ok := s.inner.CacheStats()
+	if !ok {
+		return CacheStats{}, false
+	}
+	return toCacheStats(inner), true
 }
 
 // System is a running protection stack: front-end instrumenter plus the
@@ -58,11 +127,20 @@ type System struct {
 
 // New starts a protection system.
 func New(opts Options) (*System, error) {
+	var cacheCfg *cache.Config
+	if opts.Cache != nil {
+		cacheCfg = &cache.Config{
+			MaxEntries: opts.Cache.MaxEntries,
+			MaxBytes:   opts.Cache.MaxBytes,
+			TTL:        opts.Cache.TTL,
+		}
+	}
 	inner, err := pipeline.NewSystem(pipeline.Options{
 		ViewerVersion:      opts.ViewerVersion,
 		Seed:               opts.Seed,
 		DownloadsPath:      opts.DownloadsPath,
 		DeinstrumentBenign: opts.DeinstrumentBenign,
+		Cache:              cacheCfg,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("pdfshield: %w", err)
@@ -149,6 +227,9 @@ type BatchOptions struct {
 type BatchResult struct {
 	Verdicts []*Verdict
 	Errors   []error
+	// CacheStats snapshots the front-end cache after the batch (nil when
+	// the system runs without one).
+	CacheStats *CacheStats
 }
 
 // ProcessBatch runs the full pipeline over many documents with a worker
@@ -162,6 +243,10 @@ func (s *System) ProcessBatch(docs []BatchDoc, opts BatchOptions) *BatchResult {
 	}
 	res := s.inner.ProcessBatch(in, pipeline.BatchOptions{Workers: opts.Workers})
 	out := &BatchResult{Verdicts: make([]*Verdict, len(docs)), Errors: make([]error, len(docs))}
+	if res.CacheStats != nil {
+		stats := toCacheStats(*res.CacheStats)
+		out.CacheStats = &stats
+	}
 	for i, v := range res.Verdicts {
 		if err := res.Errors[i]; err != nil {
 			out.Errors[i] = fmt.Errorf("pdfshield: process %s: %w", docs[i].ID, err)
@@ -264,8 +349,11 @@ func (s *System) QuarantinedCount() int {
 // Version reports the reproduced system's provenance.
 const Version = "pdfshield 1.0 — reproduction of Liu, Wang & Stavrou, DSN 2014"
 
-// ValidatePDF reports whether raw parses as a PDF document (lenient mode).
+// ValidatePDF reports whether raw can be processed as a PDF document
+// (lenient mode). Validation rides the front-end's analyze pass and reuses
+// its parsed document, so validate-then-analyze flows parse once instead
+// of running a second pdf.Parse over the same bytes.
 func ValidatePDF(raw []byte) error {
-	_, err := pdf.Parse(raw, pdf.ParseOptions{})
+	_, err := Analyze(raw)
 	return err
 }
