@@ -4,20 +4,24 @@ GO ?= go
 # internal/*/testdata/fuzz/ replay on every plain `make test` regardless.
 FUZZTIME ?= 30s
 
-.PHONY: build test race bench bench-json fuzz
+.PHONY: build vet test race bench bench-json fuzz
 
 build:
 	$(GO) build ./...
 
-test:
+vet:
+	$(GO) vet ./...
+
+test: vet
 	$(GO) test ./...
 
-# Race-checks the concurrent surface of the batch engine: the worker-pool
-# pipeline, the shared runtime detector, and the content-addressed
-# front-end cache (includes the 50-document / 8-worker mixed-corpus test,
-# the duplicate-corpus cache-equivalence test, and the singleflight test).
+# Race-checks the concurrent surface of the batch engine and the
+# observability layer: the worker-pool pipeline (including mid-batch
+# cancellation), the shared runtime detector, the content-addressed
+# front-end cache with its context-aware singleflight, and the lock-free
+# metrics registry.
 race:
-	$(GO) test -race ./internal/pipeline/... ./internal/detect/... ./internal/cache/...
+	$(GO) test -race ./internal/pipeline/... ./internal/detect/... ./internal/cache/... ./internal/obs/...
 
 # Batch-engine benchmarks: docs/sec at 1/4/8 workers plus the pooled
 # parse/serialize round trip.

@@ -18,6 +18,7 @@ import (
 
 	"pdfshield/internal/cache"
 	"pdfshield/internal/corpus"
+	"pdfshield/internal/obs"
 	"pdfshield/internal/pipeline"
 )
 
@@ -47,8 +48,10 @@ type benchRecord struct {
 	Cache           cache.Stats `json:"cache"`
 	CacheHitRate    float64     `json:"cache_hit_rate"`
 
-	// Phases aggregates instrument.PhaseTiming over the serial uncached
-	// pass (Table X's columns, summed across the corpus).
+	// Phases aggregates per-phase latency over the serial uncached pass
+	// (Table X's columns, summed across the corpus). Sourced from the obs
+	// registry's phase histograms — the same series /metrics exposes — not
+	// from ad-hoc stopwatches.
 	Phases benchPhases `json:"phases"`
 }
 
@@ -72,6 +75,21 @@ type benchPhases struct {
 	ParseDecompressSec   float64 `json:"parse_decompress_sec"`
 	FeatureExtractionSec float64 `json:"feature_extraction_sec"`
 	InstrumentationSec   float64 `json:"instrumentation_sec"`
+}
+
+// phaseDelta reads one pass's phase sums as the difference between two
+// registry snapshots (the registry is process-wide and accumulates, so a
+// pass's contribution is after − before).
+func phaseDelta(before, after obs.Snapshot) benchPhases {
+	sum := func(phase string) float64 {
+		series := obs.PhaseSeries(phase)
+		return after.Histograms[series].SumSeconds - before.Histograms[series].SumSeconds
+	}
+	return benchPhases{
+		ParseDecompressSec:   sum(obs.PhaseParse),
+		FeatureExtractionSec: sum(obs.PhaseAnalyze),
+		InstrumentationSec:   sum(obs.PhaseInstrument),
+	}
 }
 
 // benchCorpusDocs builds the duplicate-heavy corpus: `unique` distinct
@@ -125,11 +143,16 @@ const benchReps = 7
 // intact: one fresh system per round (a system cannot re-instrument the
 // same bytes), timing only the ProcessBatch calls. The corpus is run
 // benchReps times and the fastest rep kept. Returns the pass plus the
-// per-phase timing sum from the first rep (one pass over the corpus).
+// per-phase latency sums of the first rep (one pass over the corpus),
+// read from the obs registry's phase histograms.
 func runUncached(rounds [][]pipeline.BatchDoc, workers int, seed int64) (benchPass, benchPhases, error) {
 	best := benchPass{Workers: workers}
 	var phases benchPhases
 	for rep := 0; rep < benchReps; rep++ {
+		var before obs.Snapshot
+		if rep == 0 {
+			before = obs.Default.Snapshot()
+		}
 		pass := benchPass{Workers: workers}
 		for _, docs := range rounds {
 			sys, err := pipeline.NewSystem(pipeline.Options{ViewerVersion: 9.0, Seed: seed})
@@ -140,20 +163,12 @@ func runUncached(rounds [][]pipeline.BatchDoc, workers int, seed int64) (benchPa
 			res := sys.ProcessBatch(docs, pipeline.BatchOptions{Workers: workers})
 			pass.Seconds += time.Since(start).Seconds()
 			collectPass(&pass, res)
-			if rep == 0 {
-				for _, v := range res.Verdicts {
-					if v == nil || v.Instrument == nil {
-						continue
-					}
-					t := v.Instrument.Timing
-					phases.ParseDecompressSec += t.ParseDecompress.Seconds()
-					phases.FeatureExtractionSec += t.FeatureExtraction.Seconds()
-					phases.InstrumentationSec += t.Instrumentation.Seconds()
-				}
-			}
 			if err := sys.Close(); err != nil {
 				return best, phases, err
 			}
+		}
+		if rep == 0 {
+			phases = phaseDelta(before, obs.Default.Snapshot())
 		}
 		if rep == 0 || pass.Seconds < best.Seconds {
 			best = pass

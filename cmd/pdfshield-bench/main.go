@@ -11,6 +11,12 @@
 //	                [-json bench.json] [-bench-docs 50] [-bench-unique 10]
 //	                [-cache-entries N] [-cache-bytes N] [-cache-ttl d]
 //	                [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	                [-metrics-addr host:port]
+//
+// -metrics-addr serves live counters and phase-latency histograms in
+// Prometheus text format on /metrics (expvar JSON on /debug/vars) while
+// the run is in flight — point a scrape or curl at it to watch a long
+// corpus pass progress.
 //
 // -workers widens the batch engine's worker pool for the corpus passes that
 // run documents through the full pipeline (Table VIII, Table IX's mimicry
@@ -40,6 +46,7 @@ import (
 
 	"pdfshield/internal/cache"
 	"pdfshield/internal/experiments"
+	"pdfshield/internal/obs"
 )
 
 func main() {
@@ -64,6 +71,7 @@ func run() error {
 	cacheTTL := flag.Duration("cache-ttl", 0, "front-end cache TTL for the -json cached pass (0 = never expires)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus text metrics on this address (/metrics, plus expvar on /debug/vars); empty = off")
 	flag.Parse()
 
 	if *list {
@@ -71,6 +79,18 @@ func run() error {
 			fmt.Println(exp.ID)
 		}
 		return nil
+	}
+
+	if *metricsAddr != "" {
+		// Both modes report into the process-wide default registry (systems
+		// built without an explicit Obs option land there), so one endpoint
+		// covers the experiment suite and the -json benchmark alike.
+		srv, err := obs.Default.ServeMetrics(*metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics server: %w", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "pdfshield-bench: serving metrics on http://%s/metrics\n", srv.Addr)
 	}
 
 	if *cpuProfile != "" {

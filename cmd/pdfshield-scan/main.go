@@ -15,7 +15,12 @@
 //	pdfshield-scan [-analyze] [-out instrumented.pdf] [-spec spec.json]
 //	               [-registry registry.json] [-endpoint url]
 //	               [-workers N] [-cache] [-cache-entries N]
-//	               [-cache-bytes N] [-cache-ttl d] input.pdf [input2.pdf ...]
+//	               [-cache-bytes N] [-cache-ttl d] [-metrics-addr host:port]
+//	               input.pdf [input2.pdf ...]
+//
+// -metrics-addr serves live counters and phase-latency histograms in
+// Prometheus text format on /metrics (expvar JSON on /debug/vars) for the
+// duration of the scan.
 package main
 
 import (
@@ -30,6 +35,7 @@ import (
 
 	"pdfshield/internal/cache"
 	"pdfshield/internal/instrument"
+	"pdfshield/internal/obs"
 )
 
 func main() {
@@ -51,6 +57,7 @@ func run() error {
 	cacheEntries := flag.Int("cache-entries", 0, "cache entry cap (0 = default, negative = unlimited)")
 	cacheBytes := flag.Int64("cache-bytes", 0, "cache byte cap (0 = default, negative = unlimited)")
 	cacheTTL := flag.Duration("cache-ttl", 0, "cache entry time-to-live (0 = never expires)")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus text metrics on this address (/metrics, plus expvar on /debug/vars); empty = off")
 	flag.Parse()
 
 	if flag.NArg() < 1 {
@@ -79,9 +86,17 @@ func run() error {
 		}
 		registry = instrument.NewRegistry(id)
 	}
+	if *metricsAddr != "" {
+		srv, err := obs.Default.ServeMetrics(*metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics server: %w", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "pdfshield-scan: serving metrics on http://%s/metrics\n", srv.Addr)
+	}
 	// The instrumenter and registry are safe for concurrent use; one pair
 	// serves all workers so keys stay unique across the whole scan.
-	ins := instrument.New(registry, instrument.Options{Endpoint: *endpoint, Seed: *seed})
+	ins := instrument.New(registry, instrument.Options{Endpoint: *endpoint, Seed: *seed, Obs: obs.Default})
 	var fc *cache.Cache
 	if *useCache {
 		fc = cache.New(cache.Config{
@@ -89,6 +104,7 @@ func run() error {
 			MaxBytes:   *cacheBytes,
 			TTL:        *cacheTTL,
 		})
+		fc.RegisterMetrics(obs.Default)
 	}
 
 	reports := make([]string, len(inputs))

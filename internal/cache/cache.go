@@ -21,11 +21,13 @@ package cache
 
 import (
 	"container/list"
+	"context"
 	"errors"
 	"sync"
 	"time"
 
 	"pdfshield/internal/instrument"
+	"pdfshield/internal/obs"
 )
 
 // Defaults applied by New when the corresponding Config field is zero.
@@ -200,25 +202,67 @@ func (c *Cache) Get(key string) (*instrument.Result, error, bool) {
 	return e.res, e.err, true
 }
 
-// Do is the read-through entry point: a fresh entry is returned at once;
-// otherwise the first caller for a key becomes the singleflight leader,
-// runs fn exactly once and stores the outcome, while concurrent callers
-// for the same key block on the leader and share its result. The third
-// return reports whether the caller avoided running fn (completed entry
-// or shared flight).
+// Outcome classifies how a DoContext call was satisfied.
+type Outcome int
+
+const (
+	// OutcomeMiss: the caller was the singleflight leader and ran fn.
+	OutcomeMiss Outcome = iota
+	// OutcomeHit: served from a completed, fresh entry.
+	OutcomeHit
+	// OutcomeShared: joined (or waited on) another caller's in-flight
+	// front-end pass.
+	OutcomeShared
+)
+
+// Avoided reports whether the call skipped running fn.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeHit:
+		return "hit"
+	case OutcomeShared:
+		return "shared"
+	default:
+		return "miss"
+	}
+}
+
+// Do is the context-free read-through entry point; see DoContext. The
+// third return reports whether the caller avoided running fn (completed
+// entry or shared flight).
 func (c *Cache) Do(key string, fn func() (*instrument.Result, error)) (*instrument.Result, error, bool) {
+	res, err, oc := c.DoContext(context.Background(), key, fn)
+	return res, err, oc != OutcomeMiss
+}
+
+// DoContext is the read-through entry point: a fresh entry is returned
+// at once; otherwise the first caller for a key becomes the singleflight
+// leader, runs fn exactly once and stores the outcome, while concurrent
+// callers for the same key block on the leader and share its result.
+//
+// Cancellation: a follower whose ctx ends stops waiting on the flight
+// and returns ctx.Err() (the leader's pass is unaffected). A leader
+// whose fn returns a context error publishes it to the current followers
+// but the outcome is NOT stored, so the next submission of the same
+// bytes re-runs the front-end instead of replaying a cancellation as if
+// it were a terminal parse failure.
+func (c *Cache) DoContext(ctx context.Context, key string, fn func() (*instrument.Result, error)) (*instrument.Result, error, Outcome) {
 	sh := c.shardFor(key)
 	sh.mu.Lock()
 	if e, ok := sh.lookupLocked(key, c.now()); ok {
 		sh.hits++
 		sh.mu.Unlock()
-		return e.res, e.err, true
+		return e.res, e.err, OutcomeHit
 	}
 	if f, ok := sh.flights[key]; ok {
 		sh.shared++
 		sh.mu.Unlock()
-		<-f.done
-		return f.res, f.err, true
+		select {
+		case <-f.done:
+			return f.res, f.err, OutcomeShared
+		case <-ctx.Done():
+			return nil, ctx.Err(), OutcomeShared
+		}
 	}
 	f := &flight{done: make(chan struct{}), err: ErrFlightAborted}
 	sh.flights[key] = f
@@ -232,7 +276,7 @@ func (c *Cache) Do(key string, fn func() (*instrument.Result, error)) (*instrume
 	defer func() {
 		sh.mu.Lock()
 		delete(sh.flights, key)
-		if completed {
+		if completed && !isContextError(f.err) {
 			sh.storeLocked(c, key, f.res, f.err)
 		}
 		sh.mu.Unlock()
@@ -240,7 +284,13 @@ func (c *Cache) Do(key string, fn func() (*instrument.Result, error)) (*instrume
 	}()
 	f.res, f.err = fn()
 	completed = true
-	return f.res, f.err, false
+	return f.res, f.err, OutcomeMiss
+}
+
+// isContextError reports whether err is a cancellation/deadline outcome,
+// which must never be cached as a terminal front-end result.
+func isContextError(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // Invalidate drops the entry for key, if any. De-instrumentation calls
@@ -253,6 +303,27 @@ func (c *Cache) Invalidate(key string) {
 	if e, ok := sh.entries[key]; ok {
 		sh.removeLocked(e)
 	}
+}
+
+// RegisterMetrics folds the cache's counters into an obs registry as
+// callback-backed series: scrapes and snapshots read the live shard
+// counters, so there is exactly one source of truth for cache stats.
+// Re-registering (e.g. a fresh System sharing a long-lived registry)
+// replaces the previous cache's series.
+func (c *Cache) RegisterMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	stat := func(pick func(Stats) float64) func() float64 {
+		return func() float64 { return pick(c.Stats()) }
+	}
+	reg.CounterFunc(obs.MetricCacheHits, stat(func(s Stats) float64 { return float64(s.Hits) }))
+	reg.CounterFunc(obs.MetricCacheMisses, stat(func(s Stats) float64 { return float64(s.Misses) }))
+	reg.CounterFunc(obs.MetricCacheShared, stat(func(s Stats) float64 { return float64(s.Shared) }))
+	reg.CounterFunc(obs.MetricCacheEvictions, stat(func(s Stats) float64 { return float64(s.Evictions) }))
+	reg.CounterFunc(obs.MetricCacheExpired, stat(func(s Stats) float64 { return float64(s.Expired) }))
+	reg.GaugeFunc(obs.MetricCacheEntries, stat(func(s Stats) float64 { return float64(s.Entries) }))
+	reg.GaugeFunc(obs.MetricCacheBytes, stat(func(s Stats) float64 { return float64(s.Bytes) }))
 }
 
 // Stats sums a snapshot over all shards.

@@ -1,0 +1,140 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"pdfshield/internal/instrument"
+)
+
+// TestFollowerCancelledWhileWaiting: a follower whose context ends while
+// it waits on another submission's in-flight front-end stops waiting with
+// ctx.Err(); the leader is unaffected and its result is still cached for
+// later lookups.
+func TestFollowerCancelledWhileWaiting(t *testing.T) {
+	c := New(Config{})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	res := resultWithOutput(4)
+
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		r, err, oc := c.DoContext(context.Background(), "k", func() (*instrument.Result, error) {
+			close(entered)
+			<-release
+			return res, nil
+		})
+		if r != res || err != nil || oc != OutcomeMiss {
+			t.Errorf("leader got (%p, %v, %v), want (%p, nil, miss)", r, err, oc, res)
+		}
+	}()
+	<-entered
+
+	ctx, cancel := context.WithCancel(context.Background())
+	followerDone := make(chan struct{})
+	go func() {
+		defer close(followerDone)
+		r, err, oc := c.DoContext(ctx, "k", func() (*instrument.Result, error) {
+			t.Error("follower must not run the front-end")
+			return nil, nil
+		})
+		if r != nil || !errors.Is(err, context.Canceled) {
+			t.Errorf("cancelled follower got (%v, %v), want (nil, context.Canceled)", r, err)
+		}
+		if oc != OutcomeShared {
+			t.Errorf("cancelled follower outcome = %v, want shared", oc)
+		}
+	}()
+
+	// Let the follower join the flight, then cancel it while the leader is
+	// still blocked — the follower must return without the leader moving.
+	waitFor(t, func() bool { return c.Stats().Shared == 1 })
+	cancel()
+	select {
+	case <-followerDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled follower still waiting on the flight")
+	}
+
+	close(release)
+	<-leaderDone
+
+	// The flight completed normally, so the entry must be served from
+	// cache afterwards.
+	r, err, oc := c.DoContext(context.Background(), "k", func() (*instrument.Result, error) {
+		t.Error("completed entry must not re-run the front-end")
+		return nil, nil
+	})
+	if r != res || err != nil || oc != OutcomeHit {
+		t.Fatalf("post-flight lookup = (%p, %v, %v), want (%p, nil, hit)", r, err, oc, res)
+	}
+}
+
+// TestLeaderContextErrorNotCached: when the leader's own fn fails with a
+// context error (its submission was cancelled mid-front-end), the
+// cancellation is reported to that caller but never stored — the next
+// submission of the same bytes gets a fresh front-end run.
+func TestLeaderContextErrorNotCached(t *testing.T) {
+	c := New(Config{})
+	calls := 0
+	_, err, oc := c.DoContext(context.Background(), "k", func() (*instrument.Result, error) {
+		calls++
+		return nil, context.Canceled
+	})
+	if !errors.Is(err, context.Canceled) || oc != OutcomeMiss {
+		t.Fatalf("first call = (%v, %v), want (context.Canceled, miss)", err, oc)
+	}
+
+	res := resultWithOutput(2)
+	r, err, oc := c.DoContext(context.Background(), "k", func() (*instrument.Result, error) {
+		calls++
+		return res, nil
+	})
+	if r != res || err != nil || oc != OutcomeMiss {
+		t.Fatalf("retry = (%p, %v, %v), want fresh miss with the real result", r, err, oc)
+	}
+	if calls != 2 {
+		t.Fatalf("front-end ran %d times, want 2 (cancellation must not be a terminal verdict)", calls)
+	}
+}
+
+// TestDoContextPreCancelled: an already-cancelled context still gets a
+// cached entry — a hit has no work left to interrupt, and serving it
+// keeps hit/cancel races deterministic. (On a miss, aborting before the
+// front-end is the fn's job; the pipeline's wrapper checks ctx first.)
+func TestDoContextPreCancelled(t *testing.T) {
+	c := New(Config{})
+	res := resultWithOutput(2)
+	if _, err, _ := c.DoContext(context.Background(), "k", func() (*instrument.Result, error) {
+		return res, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r, err, oc := c.DoContext(ctx, "k", func() (*instrument.Result, error) {
+		t.Error("hit path must not run the front-end")
+		return nil, nil
+	})
+	if r != res || err != nil || oc != OutcomeHit {
+		t.Fatalf("cancelled hit = (%p, %v, %v), want the cached result", r, err, oc)
+	}
+}
+
+// waitFor polls cond for up to five seconds.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		if cond() {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"pdfshield/internal/hook"
 	"pdfshield/internal/instrument"
+	"pdfshield/internal/obs"
 	"pdfshield/internal/sandbox"
 	"pdfshield/internal/soapsrv"
 	"pdfshield/internal/winos"
@@ -26,6 +27,9 @@ type Config struct {
 	W1, W2, Threshold int
 	// MemoryThresholdMB overrides the F8 cutoff (0 = 100 MB).
 	MemoryThresholdMB float64
+	// Obs, when non-nil, receives alert / fake-message / per-feature
+	// trigger counters.
+	Obs *obs.Registry
 }
 
 // Alert is raised when a document's malscore crosses the threshold or a
@@ -275,6 +279,7 @@ func (d *Detector) memForLocked(pid int) float64 {
 }
 
 func (d *Detector) fakeMessageLocked(n soapsrv.Notify, cause error) {
+	d.cfg.Obs.Inc(obs.MetricFakeMessages)
 	// Prefer the active document in the sending process; otherwise, if the
 	// claimed key is known, blame that document.
 	st := d.activeDocLocked(n.PID)
@@ -295,6 +300,11 @@ func (d *Detector) fakeMessageLocked(n soapsrv.Notify, cause error) {
 	}
 	st.Ops = append(st.Ops, "fake-message: "+cause.Error())
 	d.raiseAlertLocked(st, "fake-message")
+}
+
+// countFeatureTrigger records a feature's first trigger on a document.
+func (d *Detector) countFeatureTrigger(feature int) {
+	d.cfg.Obs.Inc(obs.FeatureSeries(FeatureNames[feature]))
 }
 
 func (d *Detector) docStateLocked(instrKey string, rec instrument.DocRecord) *DocState {
@@ -379,6 +389,7 @@ func (d *Detector) updateMemoryFeatureLocked(st *DocState, curMemMB float64) {
 	if st.PeakMemMB-st.EnterMemMB >= d.cfg.MemoryThresholdMB {
 		if st.Features[FMemory] == 0 {
 			st.Ops = append(st.Ops, fmt.Sprintf("injs-memory: +%.0f MB", st.PeakMemMB-st.EnterMemMB))
+			d.countFeatureTrigger(FMemory)
 		}
 		st.Features[FMemory] = 1
 		st.Armed = true
@@ -528,6 +539,7 @@ func (d *Detector) onInjectLocked(ev hook.Event, active *DocState) hook.Decision
 func (d *Detector) markLocked(st *DocState, feature int, op string) {
 	if st.Features[feature] == 0 {
 		st.Ops = append(st.Ops, op)
+		d.countFeatureTrigger(feature)
 	}
 	st.Features[feature] = 1
 	if feature >= FMemory {
@@ -539,6 +551,7 @@ func (d *Detector) markLocked(st *DocState, feature int, op string) {
 func (d *Detector) markOutJSLocked(st *DocState, feature int, op string) {
 	if st.Features[feature] == 0 {
 		st.Ops = append(st.Ops, op)
+		d.countFeatureTrigger(feature)
 	}
 	st.Features[feature] = 1
 }
@@ -562,6 +575,7 @@ func (d *Detector) raiseAlertLocked(st *DocState, reason string) {
 		return
 	}
 	st.Alerted = true
+	d.cfg.Obs.Inc(obs.MetricAlerts)
 
 	alert := Alert{
 		DocID:    st.DocID,

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"pdfshield/internal/obs"
 	"pdfshield/internal/pdf"
 )
 
@@ -25,6 +26,11 @@ type Options struct {
 	// via the registry's detector id, keeping runs reproducible only when
 	// explicitly requested.
 	Seed int64
+	// Obs, when non-nil, receives the front-end phase latency histograms
+	// (parse/analyze/instrument) and instrumentation counters. Embedded
+	// documents' phases fold into their host's top-level observation, so
+	// one submission is one observation per phase.
+	Obs *obs.Registry
 }
 
 // ErrNoJavaScript is returned when a document has nothing to instrument.
@@ -37,6 +43,7 @@ type Instrumenter struct {
 	registry *Registry
 	endpoint string
 	rng      *rand.Rand
+	obs      *obs.Registry
 }
 
 // New returns an Instrumenter bound to a key registry.
@@ -52,6 +59,7 @@ func New(registry *Registry, opts Options) *Instrumenter {
 	return &Instrumenter{
 		registry: registry,
 		endpoint: endpoint,
+		obs:      opts.Obs,
 		//nolint:gosec // randomization of code layout, not cryptography; the
 		// protection key material comes from crypto/rand in key.go.
 		// lockedSource makes the shared Instrumenter safe for concurrent
@@ -194,14 +202,37 @@ func AnalyzeDoc(doc *pdf.Document) (StaticFeatures, pdf.ChainSet, error) {
 // chain, and recursively instrument embedded PDF documents. Documents with
 // no Javascript anywhere return ErrNoJavaScript.
 func (ins *Instrumenter) InstrumentBytes(docID string, raw []byte) (*Result, error) {
-	return ins.instrumentBytesDepth(docID, raw, "", 0)
+	return ins.InstrumentBytesWithHash(docID, raw, "")
 }
 
 // InstrumentBytesWithHash is InstrumentBytes for callers that already
 // computed ContentHash(raw) — the front-end cache keys by it before
 // calling in — so each submission is hashed exactly once.
 func (ins *Instrumenter) InstrumentBytesWithHash(docID string, raw []byte, hash string) (*Result, error) {
-	return ins.instrumentBytesDepth(docID, raw, hash, 0)
+	res, err := ins.instrumentBytesDepth(docID, raw, hash, 0)
+	ins.observeFrontEnd(res, err)
+	return res, err
+}
+
+// observeFrontEnd reports one top-level front-end pass into the obs
+// registry: per-phase latency histograms plus instrumentation counters.
+// Cached submissions never reach here (the cache short-circuits before
+// the instrumenter), so histogram counts equal real front-end passes.
+func (ins *Instrumenter) observeFrontEnd(res *Result, err error) {
+	if ins.obs == nil || res == nil {
+		return
+	}
+	t := res.Timing
+	ins.obs.Observe(obs.PhaseSeries(obs.PhaseParse), t.ParseDecompress)
+	ins.obs.Observe(obs.PhaseSeries(obs.PhaseAnalyze), t.FeatureExtraction)
+	if t.Instrumentation > 0 {
+		ins.obs.Observe(obs.PhaseSeries(obs.PhaseInstrument), t.Instrumentation)
+	}
+	if err == nil && res.ScriptsInstrumented > 0 {
+		ins.obs.Inc(obs.MetricDocsInstrumented)
+		ins.obs.CounterAdd(obs.MetricScripts, uint64(res.ScriptsInstrumented))
+		ins.obs.CounterAdd(obs.MetricStagedRewrites, uint64(res.StagedRewrites))
+	}
 }
 
 // instrumentBytesDepth is the recursive front-end worker. hash is the

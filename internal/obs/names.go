@@ -1,0 +1,146 @@
+package obs
+
+import "strings"
+
+// Canonical series names. Every component that reports into a Registry
+// uses these, so the Prometheus exposition, the expvar snapshot and the
+// public Stats API all agree on one vocabulary (documented in DESIGN.md
+// §10).
+const (
+	// MetricPhaseSeconds is the per-phase latency histogram family; one
+	// series per pipeline phase via PhaseSeries: parse, analyze,
+	// instrument (front-end, observed by internal/instrument) and open,
+	// detect (runtime, observed by internal/pipeline).
+	MetricPhaseSeconds = "pdfshield_phase_seconds"
+	// MetricDocSeconds is the end-to-end per-document latency histogram.
+	MetricDocSeconds = "pdfshield_doc_seconds"
+
+	// Pipeline outcome counters.
+	MetricDocsTotal     = "pdfshield_docs_total"
+	MetricDocsMalicious = "pdfshield_docs_malicious_total"
+	MetricDocsNoJS      = "pdfshield_docs_nojavascript_total"
+	MetricDocsCrashed   = "pdfshield_docs_crashed_total"
+	MetricDocsErrored   = "pdfshield_docs_errored_total"
+	MetricPanics        = "pdfshield_panics_contained_total"
+
+	// Batch engine gauges.
+	MetricBatchQueueDepth = "pdfshield_batch_queue_depth"
+	MetricBatchWorkers    = "pdfshield_batch_workers"
+	MetricSessionsActive  = "pdfshield_sessions_active"
+
+	// Front-end (internal/instrument) counters.
+	MetricDocsInstrumented = "pdfshield_docs_instrumented_total"
+	MetricScripts          = "pdfshield_scripts_instrumented_total"
+	MetricStagedRewrites   = "pdfshield_staged_rewrites_total"
+
+	// Runtime detector (internal/detect) counters.
+	MetricAlerts          = "pdfshield_alerts_total"
+	MetricFakeMessages    = "pdfshield_fake_messages_total"
+	MetricFeatureTriggers = "pdfshield_feature_triggers_total"
+
+	// Front-end cache series (callback-backed from cache.Stats; see
+	// Cache.RegisterMetrics).
+	MetricCacheHits      = "pdfshield_cache_hits_total"
+	MetricCacheMisses    = "pdfshield_cache_misses_total"
+	MetricCacheShared    = "pdfshield_cache_shared_total"
+	MetricCacheEvictions = "pdfshield_cache_evictions_total"
+	MetricCacheExpired   = "pdfshield_cache_expired_total"
+	MetricCacheEntries   = "pdfshield_cache_entries"
+	MetricCacheBytes     = "pdfshield_cache_bytes"
+)
+
+// Pipeline phase names, in execution order (also the span names of a
+// document trace).
+const (
+	PhaseParse      = "parse"
+	PhaseAnalyze    = "analyze"
+	PhaseInstrument = "instrument"
+	PhaseOpen       = "open"
+	PhaseDetect     = "detect"
+	// PhaseFrontEnd is the collapsed front-end span recorded when a cache
+	// hit (or shared flight) skipped the real parse/analyze/instrument
+	// phases.
+	PhaseFrontEnd = "frontend"
+)
+
+// LatencyBuckets are the default histogram bounds in seconds, spanning
+// the sub-millisecond front-end phases up to multi-second corpus passes.
+var LatencyBuckets = []float64{
+	50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3,
+	1, 2.5, 5, 10,
+}
+
+// Series composes a single-label series name, escaping the label value
+// per the Prometheus text format.
+func Series(name, label, value string) string {
+	var b strings.Builder
+	b.Grow(len(name) + len(label) + len(value) + 5)
+	b.WriteString(name)
+	b.WriteByte('{')
+	b.WriteString(label)
+	b.WriteString(`="`)
+	for i := 0; i < len(value); i++ {
+		switch c := value[i]; c {
+		case '\\', '"':
+			b.WriteByte('\\')
+			b.WriteByte(c)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteString(`"}`)
+	return b.String()
+}
+
+// PhaseSeries names one phase's latency series.
+func PhaseSeries(phase string) string {
+	return Series(MetricPhaseSeconds, "phase", phase)
+}
+
+// FeatureSeries names one detector feature's trigger counter.
+func FeatureSeries(feature string) string {
+	return Series(MetricFeatureTriggers, "feature", feature)
+}
+
+// SplitSeries splits a series name into its base name and the inline
+// label block ("" when unlabelled): `a{b="c"}` → (`a`, `b="c"`).
+func SplitSeries(series string) (base, labels string) {
+	i := strings.IndexByte(series, '{')
+	if i < 0 || !strings.HasSuffix(series, "}") {
+		return series, ""
+	}
+	return series[:i], series[i+1 : len(series)-1]
+}
+
+// LabelValue extracts a label's value from a series name produced by
+// Series ("" when absent).
+func LabelValue(series, label string) string {
+	_, lbl := SplitSeries(series)
+	prefix := label + `="`
+	i := strings.Index(lbl, prefix)
+	if i < 0 {
+		return ""
+	}
+	rest := lbl[i+len(prefix):]
+	var b strings.Builder
+	for i := 0; i < len(rest); i++ {
+		c := rest[i]
+		if c == '\\' && i+1 < len(rest) {
+			i++
+			if rest[i] == 'n' {
+				b.WriteByte('\n')
+			} else {
+				b.WriteByte(rest[i])
+			}
+			continue
+		}
+		if c == '"' {
+			break
+		}
+		b.WriteByte(c)
+	}
+	return b.String()
+}

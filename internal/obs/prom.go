@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): one `# TYPE` line per metric family, series
+// sorted by name, histograms expanded into cumulative `_bucket{le=...}`
+// lines plus `_sum` and `_count`. Series names carrying an inline label
+// block (see Series) are grouped under their base family name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+
+	typed := make(map[string]string) // family -> TYPE already emitted
+	emitType := func(sb *strings.Builder, family, kind string) {
+		if typed[family] == kind {
+			return
+		}
+		typed[family] = kind
+		fmt.Fprintf(sb, "# TYPE %s %s\n", family, kind)
+	}
+
+	var sb strings.Builder
+	for _, name := range sortedKeys(snap.Counters) {
+		family, _ := SplitSeries(name)
+		emitType(&sb, family, "counter")
+		fmt.Fprintf(&sb, "%s %d\n", name, snap.Counters[name])
+	}
+	for _, name := range sortedKeys(snap.Gauges) {
+		family, _ := SplitSeries(name)
+		emitType(&sb, family, "gauge")
+		fmt.Fprintf(&sb, "%s %s\n", name, formatFloat(snap.Gauges[name]))
+	}
+	for _, name := range sortedKeys(snap.Histograms) {
+		family, labels := SplitSeries(name)
+		emitType(&sb, family, "histogram")
+		h := snap.Histograms[name]
+		for _, b := range h.Buckets {
+			fmt.Fprintf(&sb, "%s %d\n", withLabels(family+"_bucket", labels, "le=\""+formatFloat(b.UpperBound)+"\""), b.Count)
+		}
+		fmt.Fprintf(&sb, "%s %d\n", withLabels(family+"_bucket", labels, `le="+Inf"`), h.Count)
+		fmt.Fprintf(&sb, "%s %s\n", withLabels(family+"_sum", labels, ""), formatFloat(h.SumSeconds))
+		fmt.Fprintf(&sb, "%s %d\n", withLabels(family+"_count", labels, ""), h.Count)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// withLabels renders `name{labels,extra}`, omitting the braces when both
+// label fragments are empty.
+func withLabels(name, labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return name
+	case labels == "":
+		return name + "{" + extra + "}"
+	case extra == "":
+		return name + "{" + labels + "}"
+	default:
+		return name + "{" + labels + "," + extra + "}"
+	}
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler serves the Prometheus text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// publishedExpvars guards against expvar.Publish's panic on duplicate
+// names (registries may be published once per process name).
+var (
+	publishMu       sync.Mutex
+	publishedExpvar = make(map[string]bool)
+)
+
+// PublishExpvar exposes the registry's live Snapshot under the given
+// expvar name (visible on any /debug/vars endpoint). Repeated calls with
+// the same name are no-ops, so multiple Systems sharing a registry can
+// all request publication.
+func (r *Registry) PublishExpvar(name string) {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if publishedExpvar[name] {
+		return
+	}
+	publishedExpvar[name] = true
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}
+
+// MetricsServer is a running metrics endpoint (see ServeMetrics).
+type MetricsServer struct {
+	// Addr is the bound listen address (useful with ":0").
+	Addr string
+	srv  *http.Server
+	done chan struct{}
+}
+
+// Close shuts the endpoint down.
+func (m *MetricsServer) Close() error {
+	err := m.srv.Close()
+	<-m.done
+	return err
+}
+
+// ServeMetrics starts an HTTP listener exposing the registry:
+//
+//	/metrics     Prometheus text format
+//	/debug/vars  expvar JSON (includes the registry snapshot under
+//	             "pdfshield" plus the Go runtime's standard vars)
+//
+// The server runs until Close. This is what the CLIs' -metrics-addr flag
+// mounts.
+func (r *Registry) ServeMetrics(addr string) (*MetricsServer, error) {
+	r.PublishExpvar("pdfshield")
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: metrics listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	srv := &http.Server{Handler: mux}
+	m := &MetricsServer{Addr: ln.Addr().String(), srv: srv, done: make(chan struct{})}
+	go func() {
+		defer close(m.done)
+		_ = srv.Serve(ln)
+	}()
+	return m, nil
+}

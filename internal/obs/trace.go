@@ -1,0 +1,89 @@
+package obs
+
+import "time"
+
+// Trace outcome values (Trace.Outcome).
+const (
+	OutcomeMalicious    = "malicious"
+	OutcomeBenign       = "benign"
+	OutcomeCrashed      = "crashed"
+	OutcomeNoJavaScript = "no-javascript"
+)
+
+// Trace cache annotations (Trace.Cache). Empty means the system ran
+// without a front-end cache.
+const (
+	CacheMiss   = "miss"
+	CacheHit    = "hit"
+	CacheShared = "shared"
+)
+
+// Span is one timed phase of a document's journey through the pipeline.
+// Offsets are relative to the trace's StartTime, so spans order and nest
+// without wall-clock comparisons; both fields marshal as nanoseconds.
+type Span struct {
+	Phase string `json:"phase"`
+	// Start is the span's offset from Trace.StartTime.
+	Start time.Duration `json:"start_ns"`
+	// Duration is the span's length.
+	Duration time.Duration `json:"duration_ns"`
+}
+
+// End is the span's end offset from Trace.StartTime.
+func (s Span) End() time.Duration { return s.Start + s.Duration }
+
+// Trace is the ordered phase timeline of one document submission,
+// attached to its Verdict. A trace is built by a single goroutine (the
+// worker processing the document) and is immutable once the verdict is
+// returned; it is not safe for concurrent mutation.
+type Trace struct {
+	DocID     string    `json:"doc_id"`
+	StartTime time.Time `json:"start_time"`
+	// Cache annotates how the front-end was satisfied: CacheHit /
+	// CacheShared / CacheMiss, or "" when no cache is configured.
+	Cache string `json:"cache,omitempty"`
+	// Outcome is the verdict classification (Outcome* constants).
+	Outcome string `json:"outcome,omitempty"`
+	// Spans is the phase timeline in execution order.
+	Spans []Span `json:"spans,omitempty"`
+}
+
+// StartTrace begins a trace for one document submission.
+func StartTrace(docID string) *Trace {
+	return &Trace{DocID: docID, StartTime: time.Now()}
+}
+
+// AddSpan appends a span with an explicit offset and duration (used to
+// replay the front-end's internally measured PhaseTiming into the
+// timeline).
+func (t *Trace) AddSpan(phase string, start, duration time.Duration) {
+	t.Spans = append(t.Spans, Span{Phase: phase, Start: start, Duration: duration})
+}
+
+// StartSpan opens a wall-clock span; the returned func closes it and
+// appends it to the timeline.
+func (t *Trace) StartSpan(phase string) (end func()) {
+	begin := time.Now()
+	return func() {
+		t.Spans = append(t.Spans, Span{
+			Phase:    phase,
+			Start:    begin.Sub(t.StartTime),
+			Duration: time.Since(begin),
+		})
+	}
+}
+
+// Offset converts an absolute time to this trace's offset base.
+func (t *Trace) Offset(at time.Time) time.Duration { return at.Sub(t.StartTime) }
+
+// Total is the elapsed time from trace start to the end of the last span
+// (0 for an empty trace).
+func (t *Trace) Total() time.Duration {
+	var max time.Duration
+	for _, s := range t.Spans {
+		if e := s.End(); e > max {
+			max = e
+		}
+	}
+	return max
+}

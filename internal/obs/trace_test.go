@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestTraceSpanOrdering builds a timeline the way the pipeline does —
+// replayed front-end offsets followed by wall-clock spans — and checks
+// the spans come out in execution order with consistent offsets.
+func TestTraceSpanOrdering(t *testing.T) {
+	tr := StartTrace("doc-1")
+	tr.AddSpan(PhaseParse, 0, 2*time.Millisecond)
+	tr.AddSpan(PhaseAnalyze, 2*time.Millisecond, time.Millisecond)
+	tr.AddSpan(PhaseInstrument, 3*time.Millisecond, 4*time.Millisecond)
+	end := tr.StartSpan(PhaseOpen)
+	time.Sleep(time.Millisecond)
+	end()
+
+	want := []string{PhaseParse, PhaseAnalyze, PhaseInstrument, PhaseOpen}
+	if len(tr.Spans) != len(want) {
+		t.Fatalf("%d spans, want %d", len(tr.Spans), len(want))
+	}
+	for i, s := range tr.Spans {
+		if s.Phase != want[i] {
+			t.Errorf("span %d phase = %q, want %q", i, s.Phase, want[i])
+		}
+	}
+	// The replayed spans carry explicit offsets and must be monotonic;
+	// the wall-clock open span's offset is measured against StartTrace and
+	// only needs to be non-negative.
+	for i := 1; i < 3; i++ {
+		if tr.Spans[i].Start < tr.Spans[i-1].End() {
+			t.Errorf("span %q starts before its predecessor ends", tr.Spans[i].Phase)
+		}
+	}
+	if tr.Spans[3].Start < 0 {
+		t.Errorf("wall-clock span offset negative: %v", tr.Spans[3].Start)
+	}
+	if tr.Spans[1].End() != 3*time.Millisecond {
+		t.Errorf("analyze End() = %v, want 3ms", tr.Spans[1].End())
+	}
+	if tr.Total() < 7*time.Millisecond {
+		t.Errorf("Total() = %v, want >= 7ms", tr.Total())
+	}
+	if open := tr.Spans[3]; open.Duration < time.Millisecond {
+		t.Errorf("open span duration = %v, want >= 1ms", open.Duration)
+	}
+}
+
+// TestTraceJSONRoundTrip: traces ride on public verdicts, so their JSON
+// form must survive a marshal/unmarshal cycle bit-for-bit.
+func TestTraceJSONRoundTrip(t *testing.T) {
+	tr := StartTrace("doc-7")
+	tr.Cache = CacheHit
+	tr.Outcome = OutcomeMalicious
+	tr.AddSpan(PhaseFrontEnd, 0, 5*time.Microsecond)
+	tr.AddSpan(PhaseOpen, 5*time.Microsecond, 40*time.Microsecond)
+	tr.AddSpan(PhaseDetect, 45*time.Microsecond, 10*time.Microsecond)
+
+	data, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Trace
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.DocID != tr.DocID || back.Cache != tr.Cache || back.Outcome != tr.Outcome {
+		t.Fatalf("annotation mismatch: %+v", back)
+	}
+	if !back.StartTime.Equal(tr.StartTime) {
+		t.Errorf("start time %v != %v", back.StartTime, tr.StartTime)
+	}
+	if len(back.Spans) != 3 {
+		t.Fatalf("%d spans after round-trip, want 3", len(back.Spans))
+	}
+	for i, s := range back.Spans {
+		if s != tr.Spans[i] {
+			t.Errorf("span %d = %+v, want %+v", i, s, tr.Spans[i])
+		}
+	}
+	if back.Total() != 55*time.Microsecond {
+		t.Errorf("Total() = %v, want 55µs", back.Total())
+	}
+}

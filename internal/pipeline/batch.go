@@ -1,13 +1,16 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"pdfshield/internal/cache"
 	"pdfshield/internal/instrument"
+	"pdfshield/internal/obs"
 )
 
 // BatchDoc is one input document for ProcessBatch.
@@ -29,7 +32,9 @@ type BatchOptions struct {
 
 // BatchResult collects the outcome of a ProcessBatch run. Both slices are
 // indexed like the input: Verdicts[i] and Errors[i] describe docs[i], and
-// exactly one of them is non-nil per document.
+// exactly one of them is non-nil per document. When the batch's context
+// is cancelled mid-run, documents processed before the cancellation keep
+// their verdicts and every remaining slot carries ctx.Err().
 type BatchResult struct {
 	Verdicts []*Verdict
 	Errors   []error
@@ -49,9 +54,31 @@ func (r *BatchResult) Failed() int {
 	return n
 }
 
-// ProcessBatch runs the complete workflow over many documents using a
-// worker pool. Per-document failures are recorded in BatchResult.Errors
-// rather than aborting the batch, and results come back in input order.
+// Cancelled counts documents whose slot carries a context error (never
+// dispatched, or skipped by a worker after cancellation).
+func (r *BatchResult) Cancelled() int {
+	n := 0
+	for _, err := range r.Errors {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			n++
+		}
+	}
+	return n
+}
+
+// ProcessBatch runs the complete workflow over many documents with no
+// cancellation point; it is a thin wrapper over ProcessBatchContext.
+//
+// Deprecated: use ProcessBatchContext, which stops dispatching documents
+// once the context is cancelled.
+func (s *System) ProcessBatch(docs []BatchDoc, opts BatchOptions) *BatchResult {
+	return s.ProcessBatchContext(context.Background(), docs, opts)
+}
+
+// ProcessBatchContext runs the complete workflow over many documents
+// using a worker pool. Per-document failures are recorded in
+// BatchResult.Errors rather than aborting the batch, and results come
+// back in input order.
 //
 // Every shared component (instrumenter, registry, detector, fake OS) is
 // safe for concurrent use; the detector attributes events per reader PID,
@@ -59,7 +86,16 @@ func (r *BatchResult) Failed() int {
 // document still runs in a logically fresh reader process (Session.Recycle
 // restarts the process between documents), so per-document verdicts match
 // serial ProcessDocument runs.
-func (s *System) ProcessBatch(docs []BatchDoc, opts BatchOptions) *BatchResult {
+//
+// Cancellation: once ctx ends, no further document is dispatched and
+// workers skip any job already queued to them; documents completed before
+// the cancellation keep their verdicts, and every unprocessed slot gets
+// ctx.Err(). In-flight documents finish their current phase boundary
+// check and stop there (see ProcessDocumentContext).
+func (s *System) ProcessBatchContext(ctx context.Context, docs []BatchDoc, opts BatchOptions) *BatchResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	out := &BatchResult{
 		Verdicts: make([]*Verdict, len(docs)),
 		Errors:   make([]error, len(docs)),
@@ -80,6 +116,14 @@ func (s *System) ProcessBatch(docs []BatchDoc, opts BatchOptions) *BatchResult {
 		workers = len(docs)
 	}
 
+	// The queue-depth gauge tracks documents accepted but not yet handed
+	// to a worker; with concurrent batches the gauge is additive across
+	// them. The workers gauge counts pool width the same way.
+	queue := s.Obs.Gauge(obs.MetricBatchQueueDepth)
+	queue.Add(int64(len(docs)))
+	s.Obs.GaugeAdd(obs.MetricBatchWorkers, int64(workers))
+	defer s.Obs.GaugeAdd(obs.MetricBatchWorkers, -int64(workers))
+
 	if workers == 1 {
 		// Serial batches skip the worker pool: a channel round-trip per
 		// document costs more than the whole front-end cache hit path, so
@@ -92,7 +136,12 @@ func (s *System) ProcessBatch(docs []BatchDoc, opts BatchOptions) *BatchResult {
 			}
 		}()
 		for i := range docs {
-			out.Verdicts[i], out.Errors[i] = s.processWithSession(&sess, docs[i])
+			queue.Add(-1)
+			if err := ctx.Err(); err != nil {
+				out.Errors[i] = err
+				continue
+			}
+			out.Verdicts[i], out.Errors[i] = s.processWithSession(ctx, &sess, docs[i])
 		}
 		return out
 	}
@@ -112,15 +161,35 @@ func (s *System) ProcessBatch(docs []BatchDoc, opts BatchOptions) *BatchResult {
 			for i := range jobs {
 				// Workers write disjoint slots, so no result locking is
 				// needed and input order is preserved for free.
-				out.Verdicts[i], out.Errors[i] = s.processWithSession(&sess, docs[i])
+				if err := ctx.Err(); err != nil {
+					out.Errors[i] = err
+					continue
+				}
+				out.Verdicts[i], out.Errors[i] = s.processWithSession(ctx, &sess, docs[i])
 			}
 		}()
 	}
+	dispatched := 0
+dispatch:
 	for i := range docs {
-		jobs <- i
+		select {
+		case jobs <- i:
+			dispatched++
+			queue.Add(-1)
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(jobs)
 	wg.Wait()
+	// Slots never dispatched fail with the cancellation error; the gauge
+	// gives their queue residency back.
+	if dispatched < len(docs) {
+		queue.Add(-int64(len(docs) - dispatched))
+		for i := dispatched; i < len(docs); i++ {
+			out.Errors[i] = ctx.Err()
+		}
+	}
 	return out
 }
 
@@ -131,9 +200,13 @@ func (s *System) ProcessBatch(docs []BatchDoc, opts BatchOptions) *BatchResult {
 // the worker records a fail-closed error, throws away its session (the reader
 // process may be mid-open with arbitrary state), and keeps draining the
 // batch. The other documents' verdicts are unaffected.
-func (s *System) processWithSession(sess **Session, doc BatchDoc) (v *Verdict, err error) {
+func (s *System) processWithSession(ctx context.Context, sess **Session, doc BatchDoc) (v *Verdict, err error) {
+	start := time.Now()
+	tr := obs.StartTrace(doc.ID)
+	defer func() { s.finishDoc(tr, v, err, time.Since(start)) }()
 	defer func() {
 		if r := recover(); r != nil {
+			s.Obs.Inc(obs.MetricPanics)
 			discardSession(sess)
 			v, err = nil, fmt.Errorf("analysis panic: %v", r)
 		}
@@ -141,11 +214,14 @@ func (s *System) processWithSession(sess **Session, doc BatchDoc) (v *Verdict, e
 	if analysisHook != nil {
 		analysisHook(doc.ID)
 	}
-	res, err := s.frontEnd(doc.ID, doc.Raw)
+	res, err := s.frontEndBatch(ctx, doc, tr)
 	if err != nil {
 		if errors.Is(err, instrument.ErrNoJavaScript) {
 			return &Verdict{DocID: doc.ID, NoJavaScript: true, Instrument: res}, nil
 		}
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if *sess == nil {
@@ -157,7 +233,14 @@ func (s *System) processWithSession(sess **Session, doc BatchDoc) (v *Verdict, e
 	} else {
 		(*sess).Recycle()
 	}
-	v, err = s.openAndJudge(*sess, res)
+	v, err = s.openAndJudge(ctx, *sess, res, tr)
 	claimVerdict(v, doc.ID)
 	return v, err
+}
+
+// frontEndBatch is frontEndTraced for the batch path (kept tiny so the
+// panic-containment defer above stays readable).
+func (s *System) frontEndBatch(ctx context.Context, doc BatchDoc, tr *obs.Trace) (*instrument.Result, error) {
+	res, err, _ := s.frontEndTraced(ctx, doc.ID, doc.Raw, tr)
+	return res, err
 }

@@ -1,6 +1,10 @@
 package pipeline
 
-import "fmt"
+import (
+	"fmt"
+
+	"pdfshield/internal/obs"
+)
 
 // analysisHook, when non-nil, runs at the start of every contained
 // per-document analysis with the document's ID. It exists as a test seam:
@@ -10,11 +14,13 @@ import "fmt"
 var analysisHook func(docID string)
 
 // containPanic converts an in-flight panic into a fail-closed per-document
-// error. It must be called directly from a defer. A document that crashes
-// the analyzer is never reported benign by omission: the caller gets a
-// non-nil error in the same slot a verdict would have filled.
-func containPanic(v **Verdict, err *error) {
+// error and counts it in the obs registry. It must be called directly from
+// a defer. A document that crashes the analyzer is never reported benign by
+// omission: the caller gets a non-nil error in the same slot a verdict
+// would have filled.
+func containPanic(reg *obs.Registry, v **Verdict, err *error) {
 	if r := recover(); r != nil {
+		reg.Inc(obs.MetricPanics)
 		*v = nil
 		*err = fmt.Errorf("analysis panic: %v", r)
 	}

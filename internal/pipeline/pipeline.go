@@ -6,15 +6,18 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"pdfshield/internal/cache"
 	"pdfshield/internal/detect"
 	"pdfshield/internal/hook"
 	"pdfshield/internal/instrument"
+	"pdfshield/internal/obs"
 	"pdfshield/internal/reader"
 	"pdfshield/internal/winos"
 )
@@ -42,6 +45,10 @@ type Options struct {
 	// because the runtime features F8–F13 depend on each open's behaviour
 	// — the cache holds the static artifact, never the verdict.
 	Cache *cache.Config
+	// Obs is the metrics registry every pipeline phase reports into
+	// (nil = the process-wide obs.Default). Pass a private registry to
+	// isolate a System's telemetry (tests, benchmark passes).
+	Obs *obs.Registry
 }
 
 // System is a running instance of the whole protection stack.
@@ -50,6 +57,10 @@ type System struct {
 	Instrumenter *instrument.Instrumenter
 	Detector     *detect.Detector
 	OS           *winos.OS
+	// Obs is the metrics registry this System reports into; expose it via
+	// obs.Registry.ServeMetrics / WritePrometheus, or read the structured
+	// Stats() snapshot.
+	Obs *obs.Registry
 
 	opts  Options
 	cache *cache.Cache
@@ -87,6 +98,10 @@ func NewSystem(opts Options) (*System, error) {
 			return nil, err
 		}
 	}
+	obsReg := opts.Obs
+	if obsReg == nil {
+		obsReg = obs.Default
+	}
 	registry := instrument.NewRegistry(detID)
 	osState := winos.NewOS()
 	det, err := detect.New(detect.Config{
@@ -96,6 +111,7 @@ func NewSystem(opts Options) (*System, error) {
 		W1:            opts.W1,
 		W2:            opts.W2,
 		Threshold:     opts.Threshold,
+		Obs:           obsReg,
 	})
 	if err != nil {
 		return nil, err
@@ -106,17 +122,20 @@ func NewSystem(opts Options) (*System, error) {
 	ins := instrument.New(registry, instrument.Options{
 		Endpoint: det.SOAPURL(),
 		Seed:     opts.Seed,
+		Obs:      obsReg,
 	})
 	sys := &System{
 		Registry:     registry,
 		Instrumenter: ins,
 		Detector:     det,
 		OS:           osState,
+		Obs:          obsReg,
 		opts:         opts,
 		keyLocks:     make(map[string]*keyLock),
 	}
 	if opts.Cache != nil {
 		sys.cache = cache.New(*opts.Cache)
+		sys.cache.RegisterMetrics(obsReg)
 	}
 	return sys, nil
 }
@@ -134,16 +153,47 @@ func (s *System) CacheStats() (stats cache.Stats, ok bool) {
 // ContentHash per document, then either the instrumenter directly or the
 // content-addressed cache's singleflight read-through. Cached terminal
 // errors (ErrNoJavaScript, parse failures, the registry's ErrDuplicate)
-// replay exactly as the first submission observed them.
-func (s *System) frontEnd(docID string, raw []byte) (*instrument.Result, error) {
+// replay exactly as the first submission observed them; cancellations
+// are never cached (see cache.DoContext). The third return annotates how
+// the submission was satisfied ("" = no cache, else hit/miss/shared).
+func (s *System) frontEnd(ctx context.Context, docID string, raw []byte) (*instrument.Result, error, string) {
 	hash := instrument.ContentHash(raw)
 	if s.cache == nil {
-		return s.Instrumenter.InstrumentBytesWithHash(docID, raw, hash)
+		res, err := s.Instrumenter.InstrumentBytesWithHash(docID, raw, hash)
+		return res, err, ""
 	}
-	res, err, _ := s.cache.Do(hash, func() (*instrument.Result, error) {
+	res, err, outcome := s.cache.DoContext(ctx, hash, func() (*instrument.Result, error) {
+		// A leader whose context died before the flight started must not
+		// burn a full front-end pass for followers it can't serve anyway.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		return s.Instrumenter.InstrumentBytesWithHash(docID, raw, hash)
 	})
-	return res, err
+	return res, err, outcome.String()
+}
+
+// frontEndTraced wraps frontEnd and records the front-end portion of the
+// document's trace: on a real pass the instrumenter's internally measured
+// phase split (parse → analyze → instrument) is replayed into the
+// timeline; on a cache hit / shared flight a single collapsed "frontend"
+// span records the wait.
+func (s *System) frontEndTraced(ctx context.Context, docID string, raw []byte, tr *obs.Trace) (*instrument.Result, error, string) {
+	start := time.Now()
+	res, err, note := s.frontEnd(ctx, docID, raw)
+	tr.Cache = note
+	off := tr.Offset(start)
+	if res != nil && (note == "" || note == obs.CacheMiss) {
+		t := res.Timing
+		tr.AddSpan(obs.PhaseParse, off, t.ParseDecompress)
+		tr.AddSpan(obs.PhaseAnalyze, off+t.ParseDecompress, t.FeatureExtraction)
+		if t.Instrumentation > 0 {
+			tr.AddSpan(obs.PhaseInstrument, off+t.ParseDecompress+t.FeatureExtraction, t.Instrumentation)
+		}
+	} else {
+		tr.AddSpan(obs.PhaseFrontEnd, off, time.Since(start))
+	}
+	return res, err, note
 }
 
 // acquireKeyLock takes the open gate for an instrumentation key, creating
@@ -197,6 +247,7 @@ func (s *System) Close() error { return s.Detector.Close() }
 type Session struct {
 	Proc *reader.Process
 	sink *hook.TCPClient
+	obs  *obs.Registry
 }
 
 // NewSession starts a reader process whose hook DLL is connected to the
@@ -212,7 +263,8 @@ func (s *System) NewSession() (*Session, error) {
 		OS:            s.OS,
 		DetectorSOAP:  s.Detector.SOAPURL(),
 	})
-	return &Session{Proc: proc, sink: sink}, nil
+	s.Obs.GaugeAdd(obs.MetricSessionsActive, 1)
+	return &Session{Proc: proc, sink: sink, obs: s.Obs}, nil
 }
 
 // Open opens an instrumented document in this session's reader process.
@@ -229,6 +281,10 @@ func (sess *Session) OpenRaw(docID string, raw []byte, opts reader.OpenOptions) 
 func (sess *Session) Close() {
 	sess.Proc.Close()
 	_ = sess.sink.Close()
+	if sess.obs != nil {
+		sess.obs.GaugeAdd(obs.MetricSessionsActive, -1)
+		sess.obs = nil // idempotent: a double Close must not skew the gauge
+	}
 }
 
 // Recycle prepares the session for its next document: the reader process is
@@ -267,22 +323,49 @@ type Verdict struct {
 	// PeakMemMB and EnterMemMB expose the context-aware memory reading
 	// that fed F8.
 	PeakMemMB, EnterMemMB float64
+	// Trace is the document's phase timeline (parse → analyze →
+	// instrument → open → detect) with cache and outcome annotations.
+	Trace *obs.Trace
 }
 
-// ProcessDocument runs the complete workflow on one document: instrument,
-// open in a fresh monitored reader process, and collect the verdict. A panic
-// anywhere in the analysis is contained and returned as an error: hostile
-// documents fail closed instead of taking the caller down.
-func (s *System) ProcessDocument(docID string, raw []byte) (v *Verdict, err error) {
-	defer containPanic(&v, &err)
+// ProcessDocument runs the complete workflow on one document with no
+// cancellation point; it is a thin wrapper over ProcessDocumentContext.
+//
+// Deprecated: use ProcessDocumentContext, which honours cancellation
+// between pipeline phases.
+func (s *System) ProcessDocument(docID string, raw []byte) (*Verdict, error) {
+	return s.ProcessDocumentContext(context.Background(), docID, raw)
+}
+
+// ProcessDocumentContext runs the complete workflow on one document:
+// instrument, open in a fresh monitored reader process, and collect the
+// verdict. A panic anywhere in the analysis is contained and returned as
+// an error: hostile documents fail closed instead of taking the caller
+// down. Cancellation is honoured between phases (before the front-end,
+// before the reader open, and between attachment opens); a cancelled
+// call returns ctx.Err() and the document gets no verdict.
+func (s *System) ProcessDocumentContext(ctx context.Context, docID string, raw []byte) (v *Verdict, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	tr := obs.StartTrace(docID)
+	defer func() { s.finishDoc(tr, v, err, time.Since(start)) }()
+	defer containPanic(s.Obs, &v, &err)
 	if analysisHook != nil {
 		analysisHook(docID)
 	}
-	res, err := s.frontEnd(docID, raw)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res, err, _ := s.frontEndTraced(ctx, docID, raw, tr)
 	if err != nil {
 		if errors.Is(err, instrument.ErrNoJavaScript) {
 			return &Verdict{DocID: docID, NoJavaScript: true, Instrument: res}, nil
 		}
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	sess, err := s.NewSession()
@@ -290,9 +373,38 @@ func (s *System) ProcessDocument(docID string, raw []byte) (v *Verdict, err erro
 		return nil, err
 	}
 	defer sess.Close()
-	v, err = s.openAndJudge(sess, res)
+	v, err = s.openAndJudge(ctx, sess, res, tr)
 	claimVerdict(v, docID)
 	return v, err
+}
+
+// finishDoc closes out one document's processing: outcome counters, the
+// end-to-end latency histogram, and the trace's outcome annotation. The
+// trace is attached to the verdict here so every verdict — including
+// no-javascript short-circuits — carries its timeline.
+func (s *System) finishDoc(tr *obs.Trace, v *Verdict, err error, total time.Duration) {
+	s.Obs.Inc(obs.MetricDocsTotal)
+	s.Obs.Observe(obs.MetricDocSeconds, total)
+	if err != nil || v == nil {
+		s.Obs.Inc(obs.MetricDocsErrored)
+		return
+	}
+	switch {
+	case v.Malicious:
+		tr.Outcome = obs.OutcomeMalicious
+		s.Obs.Inc(obs.MetricDocsMalicious)
+	case v.NoJavaScript:
+		tr.Outcome = obs.OutcomeNoJavaScript
+		s.Obs.Inc(obs.MetricDocsNoJS)
+	case v.Crashed:
+		tr.Outcome = obs.OutcomeCrashed
+	default:
+		tr.Outcome = obs.OutcomeBenign
+	}
+	if v.Crashed {
+		s.Obs.Inc(obs.MetricDocsCrashed)
+	}
+	v.Trace = tr
 }
 
 // claimVerdict renames a verdict to the submitting document's identity: a
@@ -308,8 +420,11 @@ func claimVerdict(v *Verdict, docID string) {
 // openAndJudge opens an instrumented document (and its instrumented
 // attachments) in the given session and assembles the verdict. The session
 // is left open; callers own its lifecycle (ProcessDocument closes it,
-// batch workers recycle it for the next document).
-func (s *System) openAndJudge(sess *Session, res *instrument.Result) (*Verdict, error) {
+// batch workers recycle it for the next document). Cancellation is
+// checked before the host open and between attachment opens; the runtime
+// state already accumulated stays with the detector (volatile state dies
+// with the session as usual).
+func (s *System) openAndJudge(ctx context.Context, sess *Session, res *instrument.Result, tr *obs.Trace) (*Verdict, error) {
 	docID := res.DocID
 	v := &Verdict{DocID: docID, Instrument: res}
 
@@ -322,6 +437,10 @@ func (s *System) openAndJudge(sess *Session, res *instrument.Result) (*Verdict, 
 		defer s.releaseKeyLock(key, kl, res)
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	openStart := time.Now()
 	openRes, err := sess.Open(res, reader.OpenOptions{SpawnHelper: s.opts.SpawnHelper})
 	if err != nil {
 		return nil, err
@@ -329,15 +448,25 @@ func (s *System) openAndJudge(sess *Session, res *instrument.Result) (*Verdict, 
 	// The user opens instrumented attachments too (§VI: embedded and host
 	// behaviours are correlated under the same detector).
 	for _, emb := range res.Embedded {
-		if openRes.Crashed {
+		if openRes.Crashed || ctx.Err() != nil {
 			break
 		}
 		if _, err := sess.OpenRaw(emb.DocID, emb.Output, reader.OpenOptions{}); err != nil {
 			break // crashed attachment ends the session
 		}
 	}
+	openDur := time.Since(openStart)
+	tr.AddSpan(obs.PhaseOpen, tr.Offset(openStart), openDur)
+	s.Obs.Observe(obs.PhaseSeries(obs.PhaseOpen), openDur)
 	v.Open = openRes
 	v.Crashed = openRes.Crashed
+
+	detectStart := time.Now()
+	defer func() {
+		detectDur := time.Since(detectStart)
+		tr.AddSpan(obs.PhaseDetect, tr.Offset(detectStart), detectDur)
+		s.Obs.Observe(obs.PhaseSeries(obs.PhaseDetect), detectDur)
+	}()
 
 	// An alert on the host or on any of its attachments convicts the
 	// document the user received.

@@ -24,6 +24,7 @@
 package pdfshield
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -31,6 +32,7 @@ import (
 	"pdfshield/internal/cache"
 	"pdfshield/internal/detect"
 	"pdfshield/internal/instrument"
+	"pdfshield/internal/obs"
 	"pdfshield/internal/pipeline"
 	"pdfshield/internal/reader"
 )
@@ -56,7 +58,21 @@ type Options struct {
 	// instead of repeating it. Runtime detection still runs per open —
 	// verdicts are never cached, only the static artifact.
 	Cache *CacheConfig
+	// Metrics selects the observability registry the system reports into
+	// (nil = the process-wide default registry, which is what the
+	// -metrics-addr endpoints of the bundled commands serve). Pass a
+	// dedicated obs.NewRegistry() to isolate one System's numbers, e.g.
+	// when running several Systems in one process.
+	Metrics *Registry
 }
+
+// Registry aggregates counters, gauges and latency histograms; see
+// System.Stats for the consolidated snapshot and Options.Metrics for
+// wiring a dedicated registry.
+type Registry = obs.Registry
+
+// NewRegistry returns an empty metrics registry for Options.Metrics.
+func NewRegistry() *Registry { return obs.NewRegistry() }
 
 // CacheConfig bounds the front-end cache. Zero values take the built-in
 // defaults (4096 entries, 256 MB, no expiry); negative caps disable the
@@ -141,6 +157,7 @@ func New(opts Options) (*System, error) {
 		DownloadsPath:      opts.DownloadsPath,
 		DeinstrumentBenign: opts.DeinstrumentBenign,
 		Cache:              cacheCfg,
+		Obs:                opts.Metrics,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("pdfshield: %w", err)
@@ -176,11 +193,35 @@ type Verdict struct {
 	// Deinstrumented holds restored bytes when DeinstrumentBenign is set
 	// and the document proved benign.
 	Deinstrumented []byte
+	// Trace records the document's journey through the pipeline: ordered
+	// phase spans (parse → analyze → instrument → open → detect) with
+	// cache and outcome annotations. Nil when processing errored before a
+	// verdict formed.
+	Trace *Trace
 }
 
-// ProcessDocument runs the full pipeline on one document.
+// Trace is one document's phase-span record; it marshals to JSON with
+// nanosecond offsets relative to its start time.
+type Trace = obs.Trace
+
+// TraceSpan is one phase's interval inside a Trace.
+type TraceSpan = obs.Span
+
+// ProcessDocument runs the full pipeline on one document with no
+// cancellation point.
+//
+// Deprecated: use ProcessDocumentContext, which honors ctx between
+// pipeline phases.
 func (s *System) ProcessDocument(docID string, raw []byte) (*Verdict, error) {
-	v, err := s.inner.ProcessDocument(docID, raw)
+	return s.ProcessDocumentContext(context.Background(), docID, raw)
+}
+
+// ProcessDocumentContext runs the full pipeline on one document. The
+// context is checked at every phase boundary (front-end, session open,
+// detection): once it ends, processing stops and ctx.Err() is returned
+// (unwrappable via errors.Is).
+func (s *System) ProcessDocumentContext(ctx context.Context, docID string, raw []byte) (*Verdict, error) {
+	v, err := s.inner.ProcessDocumentContext(ctx, docID, raw)
 	if err != nil {
 		return nil, fmt.Errorf("pdfshield: process %s: %w", docID, err)
 	}
@@ -194,6 +235,7 @@ func toVerdict(v *pipeline.Verdict) *Verdict {
 		NoJavaScript:   v.NoJavaScript,
 		Crashed:        v.Crashed,
 		Deinstrumented: v.Deinstrumented,
+		Trace:          v.Trace,
 	}
 	if v.Instrument != nil {
 		out.Static = v.Instrument.Features
@@ -232,16 +274,28 @@ type BatchResult struct {
 	CacheStats *CacheStats
 }
 
-// ProcessBatch runs the full pipeline over many documents with a worker
-// pool. Per-document failures land in BatchResult.Errors instead of
-// aborting the batch, results come back in input order, and verdicts match
-// what serial ProcessDocument calls would produce for the same Seed.
+// ProcessBatch runs the full pipeline over many documents with no
+// cancellation point.
+//
+// Deprecated: use ProcessBatchContext, which stops dispatching documents
+// once the context ends.
 func (s *System) ProcessBatch(docs []BatchDoc, opts BatchOptions) *BatchResult {
+	return s.ProcessBatchContext(context.Background(), docs, opts)
+}
+
+// ProcessBatchContext runs the full pipeline over many documents with a
+// worker pool. Per-document failures land in BatchResult.Errors instead
+// of aborting the batch, results come back in input order, and verdicts
+// match what serial ProcessDocument calls would produce for the same
+// Seed. Once ctx ends, no further document is dispatched: documents
+// already processed keep their verdicts, and every remaining slot's
+// error satisfies errors.Is(err, ctx.Err()).
+func (s *System) ProcessBatchContext(ctx context.Context, docs []BatchDoc, opts BatchOptions) *BatchResult {
 	in := make([]pipeline.BatchDoc, len(docs))
 	for i, d := range docs {
 		in[i] = pipeline.BatchDoc{ID: d.ID, Raw: d.Raw}
 	}
-	res := s.inner.ProcessBatch(in, pipeline.BatchOptions{Workers: opts.Workers})
+	res := s.inner.ProcessBatchContext(ctx, in, pipeline.BatchOptions{Workers: opts.Workers})
 	out := &BatchResult{Verdicts: make([]*Verdict, len(docs)), Errors: make([]error, len(docs))}
 	if res.CacheStats != nil {
 		stats := toCacheStats(*res.CacheStats)
@@ -317,9 +371,18 @@ func (s *System) NewSession() (*Session, error) {
 
 // Open instruments (if needed) and opens a document inside the session's
 // reader process. The document stays open until the session closes.
+//
+// Documents without Javascript have nothing to monitor: Open does not
+// open them and returns an error satisfying
+// errors.Is(err, ErrNoJavaScript), so callers can distinguish
+// out-of-scope documents from real failures. (Earlier versions silently
+// passed the nil instrumentation result through to the reader.)
 func (sess *Session) Open(docID string, raw []byte) error {
 	res, err := sess.sys.inner.Instrumenter.InstrumentBytes(docID, raw)
-	if err != nil && !errors.Is(err, instrument.ErrNoJavaScript) {
+	if err != nil {
+		if errors.Is(err, instrument.ErrNoJavaScript) {
+			return fmt.Errorf("pdfshield: open %s: %w", docID, err)
+		}
 		return err
 	}
 	if _, err := sess.inner.Open(res, reader.OpenOptions{}); err != nil {
@@ -342,8 +405,64 @@ func (s *System) Alerts() []detect.Alert {
 }
 
 // QuarantinedCount returns how many artifacts confinement has isolated.
+//
+// Deprecated: use Stats, which reports the same value alongside every
+// other counter.
 func (s *System) QuarantinedCount() int {
 	return s.inner.OS.QuarantineCount()
+}
+
+// DocStats counts per-document pipeline outcomes.
+type DocStats = pipeline.DocStats
+
+// PhaseStats summarizes one phase's latency histogram.
+type PhaseStats = pipeline.PhaseStats
+
+// DetectStats counts front-end and runtime detector activity.
+type DetectStats = pipeline.DetectStats
+
+// Stats is a consolidated point-in-time snapshot of the System: document
+// outcomes, per-phase latency (keys "parse", "analyze", "instrument",
+// "open", "detect", plus "total" for end-to-end), detector activity,
+// front-end cache counters and quarantine state. It is the one-call
+// replacement for the scattered CacheStats/Alerts/QuarantinedCount
+// accessors and marshals cleanly to JSON.
+type Stats struct {
+	Docs   DocStats              `json:"docs"`
+	Phases map[string]PhaseStats `json:"phases,omitempty"`
+	Detect DetectStats           `json:"detect"`
+	// Cache snapshots the front-end cache (nil when the System runs
+	// without one).
+	Cache *CacheStats `json:"cache,omitempty"`
+	// Quarantined is how many artifacts runtime confinement has isolated.
+	Quarantined int `json:"quarantined"`
+	// BatchQueueDepth and BatchWorkers reflect in-flight batch calls;
+	// SessionsActive counts open reader sessions.
+	BatchQueueDepth int64 `json:"batch_queue_depth"`
+	BatchWorkers    int64 `json:"batch_workers"`
+	SessionsActive  int64 `json:"sessions_active"`
+}
+
+// Stats snapshots the System's observability registry. When several
+// Systems share one registry (the Options.Metrics == nil default), the
+// Docs/Phases/Detect sections aggregate across them, while Cache and
+// Quarantined are always this System's own.
+func (s *System) Stats() Stats {
+	in := s.inner.Stats()
+	out := Stats{
+		Docs:            in.Docs,
+		Phases:          in.Phases,
+		Detect:          in.Detect,
+		Quarantined:     in.Quarantined,
+		BatchQueueDepth: in.BatchQueueDepth,
+		BatchWorkers:    in.BatchWorkers,
+		SessionsActive:  in.SessionsActive,
+	}
+	if in.Cache != nil {
+		cs := toCacheStats(*in.Cache)
+		out.Cache = &cs
+	}
+	return out
 }
 
 // Version reports the reproduced system's provenance.
