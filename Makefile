@@ -4,7 +4,7 @@ GO ?= go
 # internal/*/testdata/fuzz/ replay on every plain `make test` regardless.
 FUZZTIME ?= 30s
 
-.PHONY: build vet test race bench bench-json fuzz
+.PHONY: build vet test race bench bench-json fuzz journal-check
 
 build:
 	$(GO) build ./...
@@ -12,16 +12,25 @@ build:
 vet:
 	$(GO) vet ./...
 
-test: vet
+test: vet journal-check
 	$(GO) test ./...
+
+# The replay-determinism gate: a live batch recorded to the forensic
+# journal must replay through a fresh detector with byte-identical
+# canonical events (feature triggers, malscores, alert order) and an
+# unchanged verdict when the journal sink fails. Runs as part of `make
+# test` too (the tests live in internal/pipeline); this target names the
+# invariant so it can be run alone after touching detect/ or journal/.
+journal-check:
+	$(GO) test -run 'TestReplay|TestJournal' ./internal/pipeline/... ./internal/journal/...
 
 # Race-checks the concurrent surface of the batch engine and the
 # observability layer: the worker-pool pipeline (including mid-batch
 # cancellation), the shared runtime detector, the content-addressed
-# front-end cache with its context-aware singleflight, and the lock-free
-# metrics registry.
+# front-end cache with its context-aware singleflight, the lock-free
+# metrics registry, and the journal writer all workers append to.
 race:
-	$(GO) test -race ./internal/pipeline/... ./internal/detect/... ./internal/cache/... ./internal/obs/...
+	$(GO) test -race ./internal/pipeline/... ./internal/detect/... ./internal/cache/... ./internal/obs/... ./internal/journal/...
 
 # Batch-engine benchmarks: docs/sec at 1/4/8 workers plus the pooled
 # parse/serialize round trip.

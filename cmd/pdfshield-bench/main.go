@@ -39,19 +39,21 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"time"
 
 	"pdfshield/internal/cache"
+	"pdfshield/internal/cli"
 	"pdfshield/internal/experiments"
 	"pdfshield/internal/obs"
 )
 
 func main() {
 	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "pdfshield-bench:", err)
+		slog.Error("fatal", "err", err)
 		os.Exit(1)
 	}
 }
@@ -72,7 +74,13 @@ func run() error {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus text metrics on this address (/metrics, plus expvar on /debug/vars); empty = off")
+	logOpts := cli.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
+
+	logger, err := logOpts.SetupLogger("pdfshield-bench")
+	if err != nil {
+		return err
+	}
 
 	if *list {
 		for _, exp := range experiments.All() {
@@ -90,7 +98,7 @@ func run() error {
 			return fmt.Errorf("metrics server: %w", err)
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "pdfshield-bench: serving metrics on http://%s/metrics\n", srv.Addr)
+		logger.Info("serving metrics", "url", fmt.Sprintf("http://%s/metrics", srv.Addr))
 	}
 
 	if *cpuProfile != "" {
@@ -108,13 +116,13 @@ func run() error {
 		defer func() {
 			f, err := os.Create(*memProfile)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "pdfshield-bench: memprofile:", err)
+				logger.Error("memprofile", "err", err)
 				return
 			}
 			defer func() { _ = f.Close() }()
 			runtime.GC() // materialize final live-set before snapshotting
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "pdfshield-bench: memprofile:", err)
+				logger.Error("memprofile", "err", err)
 			}
 		}()
 	}

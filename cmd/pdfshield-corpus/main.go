@@ -11,15 +11,17 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 
+	"pdfshield/internal/cli"
 	"pdfshield/internal/corpus"
 )
 
 func main() {
 	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "pdfshield-corpus:", err)
+		slog.Error("fatal", "err", err)
 		os.Exit(1)
 	}
 }
@@ -31,7 +33,12 @@ func run() error {
 	seed := flag.Int64("seed", 1, "generator seed")
 	family := flag.String("family", "", "generate only this malicious family")
 	listFamilies := flag.Bool("families", false, "list malicious families and exit")
+	logOpts := cli.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
+
+	if _, err := logOpts.SetupLogger("pdfshield-corpus"); err != nil {
+		return err
+	}
 
 	if *listFamilies {
 		for _, f := range corpus.MaliciousFamilies() {

@@ -6,25 +6,44 @@
 // Usage:
 //
 //	pdfshield-detect -registry registry.json [-downloads downloads.json]
-//	                 [-duration 30s]
+//	                 [-duration 30s] [-journal events.jsonl]
+//	                 [-log-level info] [-log-json]
+//	pdfshield-detect -registry registry.json -replay events.jsonl
+//
+// -journal records every detector event (context transitions, hooked API
+// calls with their confinement decisions, feature triggers, alerts with
+// the per-feature malscore breakdown) to a JSONL forensic journal,
+// flushed per event so the record survives a crash.
+//
+// -replay re-feeds a recorded journal through a fresh detector state
+// machine — no listeners, no live readers — and verifies the replay
+// reproduces the recorded canonical event stream (feature triggers,
+// malscores, alert ordering) byte-for-byte. Alerts raised during the
+// replay print in the live format; any divergence is reported and the
+// command exits non-zero.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"pdfshield/internal/cli"
 	"pdfshield/internal/detect"
 	"pdfshield/internal/instrument"
+	"pdfshield/internal/journal"
+	"pdfshield/internal/obs"
 	"pdfshield/internal/winos"
 )
 
 func main() {
 	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "pdfshield-detect:", err)
+		slog.Error("fatal", "err", err)
 		os.Exit(1)
 	}
 }
@@ -34,7 +53,15 @@ func run() error {
 	downloadsPath := flag.String("downloads", "", "persistent downloaded-executables list")
 	duration := flag.Duration("duration", 0, "exit after this long (0 = until SIGINT)")
 	pollEvery := flag.Duration("poll", time.Second, "alert polling interval")
+	replayPath := flag.String("replay", "", "replay a recorded journal through a fresh detector and verify determinism (no listeners started)")
+	logOpts := cli.RegisterLogFlags(flag.CommandLine)
+	jOpts := cli.RegisterJournalFlags(flag.CommandLine, "pdfshield-detect")
 	flag.Parse()
+
+	logger, err := logOpts.SetupLogger("pdfshield-detect")
+	if err != nil {
+		return err
+	}
 
 	if *registryPath == "" {
 		flag.Usage()
@@ -45,10 +72,32 @@ func run() error {
 		return err
 	}
 
+	if *replayPath != "" {
+		return runReplay(*replayPath, registry, *downloadsPath, logger)
+	}
+
+	jw, err := jOpts.Open(obs.Default)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if jw == nil {
+			return
+		}
+		if err := jw.Close(); err != nil {
+			logger.Warn("journal close failed", "err", err)
+		}
+		if err := jw.Err(); err != nil {
+			logger.Warn("journal is partial", "err", err, "dropped", jw.Dropped())
+		}
+	}()
+
 	det, err := detect.New(detect.Config{
 		Registry:      registry,
 		OS:            winos.NewOS(),
 		DownloadsPath: *downloadsPath,
+		Obs:           obs.Default,
+		Journal:       jw,
 	})
 	if err != nil {
 		return err
@@ -58,10 +107,14 @@ func run() error {
 	}
 	defer func() { _ = det.Close() }()
 
-	fmt.Printf("detector id:   %s\n", registry.DetectorID())
-	fmt.Printf("SOAP endpoint: %s\n", det.SOAPURL())
-	fmt.Printf("hook endpoint: %s\n", det.HookAddr())
-	fmt.Printf("documents:     %d registered\n", registry.Len())
+	logger.Info("detector running",
+		"detector_id", registry.DetectorID(),
+		"soap_endpoint", det.SOAPURL(),
+		"hook_endpoint", det.HookAddr(),
+		"documents", registry.Len())
+	if jOpts.Path != "" {
+		logger.Info("journaling", "path", jOpts.Path, "session", jOpts.Session)
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
@@ -78,16 +131,72 @@ func run() error {
 		case <-ticker.C:
 			alerts := det.Alerts()
 			for ; seen < len(alerts); seen++ {
-				a := alerts[seen]
-				fmt.Printf("ALERT doc=%s malscore=%d reason=%s features=%v isolated=%v\n",
-					a.DocID, a.Malscore, a.Reason, a.Features.Positive(), a.IsolatedFiles)
+				printAlert(alerts[seen])
 			}
 		case <-stop:
-			fmt.Printf("shutting down: %d alerts total\n", len(det.Alerts()))
+			logger.Info("shutting down", "alerts", len(det.Alerts()))
 			return nil
 		case <-deadline:
-			fmt.Printf("duration elapsed: %d alerts total\n", len(det.Alerts()))
+			logger.Info("duration elapsed", "alerts", len(det.Alerts()))
 			return nil
 		}
 	}
+}
+
+// printAlert renders one alert on stdout (the command's data output; logs
+// stay on stderr).
+func printAlert(a detect.Alert) {
+	fmt.Printf("ALERT doc=%s malscore=%d reason=%s features=%v isolated=%v\n",
+		a.DocID, a.Malscore, a.Reason, a.Features.Positive(), a.IsolatedFiles)
+}
+
+// runReplay re-feeds a recorded journal through a fresh detector (no
+// listeners) journaling into memory, then diffs the recorded and replayed
+// canonical event streams. A clean diff proves the journal deterministically
+// reproduces the live run's feature vectors, malscores and alert order.
+func runReplay(path string, registry *instrument.Registry, downloadsPath string, logger *slog.Logger) error {
+	recorded, err := journal.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	logger.Info("replaying journal", "path", path, "events", len(recorded))
+
+	var replayedBuf bytes.Buffer
+	jw := journal.NewWriter(&replayedBuf, journal.Options{Session: "replay"})
+	det, err := detect.New(detect.Config{
+		Registry:      registry,
+		OS:            winos.NewOS(),
+		DownloadsPath: downloadsPath,
+		Journal:       jw,
+	})
+	if err != nil {
+		return err
+	}
+
+	stats := journal.Replay(recorded, det)
+	if err := jw.Flush(); err != nil {
+		return fmt.Errorf("replay journal: %w", err)
+	}
+	replayed, err := journal.Read(&replayedBuf)
+	if err != nil {
+		return fmt.Errorf("replay journal: %w", err)
+	}
+
+	for _, a := range det.Alerts() {
+		printAlert(a)
+	}
+	logger.Info("replay complete",
+		"notifies", stats.Notifies, "hooks", stats.Hooks,
+		"forgets", stats.Forgets, "skipped", stats.Skipped,
+		"alerts", len(det.Alerts()))
+
+	if diffs := journal.Diff(recorded, replayed); len(diffs) > 0 {
+		for _, d := range diffs {
+			logger.Error("replay divergence", "diff", d)
+		}
+		return fmt.Errorf("replay diverged from recording in %d place(s)", len(diffs))
+	}
+	fmt.Printf("replay verified: %d events deterministic (%d notifies, %d hooks, %d forgets)\n",
+		len(journal.CanonStream(recorded)), stats.Notifies, stats.Hooks, stats.Forgets)
+	return nil
 }

@@ -16,11 +16,16 @@
 //	               [-registry registry.json] [-endpoint url]
 //	               [-workers N] [-cache] [-cache-entries N]
 //	               [-cache-bytes N] [-cache-ttl d] [-metrics-addr host:port]
+//	               [-journal events.jsonl] [-log-level info] [-log-json]
 //	               input.pdf [input2.pdf ...]
 //
 // -metrics-addr serves live counters and phase-latency histograms in
 // Prometheus text format on /metrics (expvar JSON on /debug/vars) for the
 // duration of the scan.
+//
+// -journal records a doc-open event per input into a JSONL forensic
+// journal — the front-end half of the record pdfshield-detect -journal
+// continues at runtime.
 package main
 
 import (
@@ -28,19 +33,22 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"runtime"
 	"strings"
 	"sync"
 
 	"pdfshield/internal/cache"
+	"pdfshield/internal/cli"
 	"pdfshield/internal/instrument"
+	"pdfshield/internal/journal"
 	"pdfshield/internal/obs"
 )
 
 func main() {
 	if err := run(); err != nil {
-		fmt.Fprintln(os.Stderr, "pdfshield-scan:", err)
+		slog.Error("fatal", "err", err)
 		os.Exit(1)
 	}
 }
@@ -58,7 +66,14 @@ func run() error {
 	cacheBytes := flag.Int64("cache-bytes", 0, "cache byte cap (0 = default, negative = unlimited)")
 	cacheTTL := flag.Duration("cache-ttl", 0, "cache entry time-to-live (0 = never expires)")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus text metrics on this address (/metrics, plus expvar on /debug/vars); empty = off")
+	logOpts := cli.RegisterLogFlags(flag.CommandLine)
+	jOpts := cli.RegisterJournalFlags(flag.CommandLine, "pdfshield-scan")
 	flag.Parse()
+
+	logger, err := logOpts.SetupLogger("pdfshield-scan")
+	if err != nil {
+		return err
+	}
 
 	if flag.NArg() < 1 {
 		flag.Usage()
@@ -70,7 +85,6 @@ func run() error {
 	}
 
 	var registry *instrument.Registry
-	var err error
 	if *registryPath != "" {
 		registry, err = instrument.LoadRegistryJSON(*registryPath)
 		if err != nil && os.IsNotExist(errors.Unwrap(err)) {
@@ -92,8 +106,23 @@ func run() error {
 			return fmt.Errorf("metrics server: %w", err)
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "pdfshield-scan: serving metrics on http://%s/metrics\n", srv.Addr)
+		logger.Info("serving metrics", "url", fmt.Sprintf("http://%s/metrics", srv.Addr))
 	}
+	jw, err := jOpts.Open(obs.Default)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if jw == nil {
+			return
+		}
+		if err := jw.Close(); err != nil {
+			logger.Warn("journal close failed", "err", err)
+		}
+		if err := jw.Err(); err != nil {
+			logger.Warn("journal is partial", "err", err, "dropped", jw.Dropped())
+		}
+	}()
 	// The instrumenter and registry are safe for concurrent use; one pair
 	// serves all workers so keys stay unique across the whole scan.
 	ins := instrument.New(registry, instrument.Options{Endpoint: *endpoint, Seed: *seed, Obs: obs.Default})
@@ -123,7 +152,7 @@ func run() error {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				reports[i], errs[i] = scanFile(inputs[i], ins, fc, *analyzeOnly, *outPath, *specPath)
+				reports[i], errs[i] = scanFile(inputs[i], ins, fc, jw, *analyzeOnly, *outPath, *specPath)
 			}
 		}()
 	}
@@ -139,7 +168,7 @@ func run() error {
 			fmt.Print(reports[i])
 		}
 		if errs[i] != nil {
-			fmt.Fprintf(os.Stderr, "pdfshield-scan: %s: %v\n", inputs[i], errs[i])
+			logger.Error("input failed", "input", inputs[i], "err", errs[i])
 			if firstErr == nil {
 				firstErr = errs[i]
 			}
@@ -166,12 +195,13 @@ func run() error {
 // ordering is the caller's job. The document is parsed exactly once for
 // analysis: embedded extraction reuses the parsed host instead of a
 // second pdf.Parse over the same bytes.
-func scanFile(input string, ins *instrument.Instrumenter, fc *cache.Cache, analyzeOnly bool, outPath, specPath string) (string, error) {
+func scanFile(input string, ins *instrument.Instrumenter, fc *cache.Cache, jw *journal.Writer, analyzeOnly bool, outPath, specPath string) (string, error) {
 	var sb strings.Builder
 	raw, err := os.ReadFile(input)
 	if err != nil {
 		return "", err
 	}
+	jw.Append(journal.Event{T: journal.TypeDocOpen, DocID: input, Cause: fmt.Sprintf("%d bytes", len(raw))})
 
 	feats, chains, doc, err := instrument.Analyze(raw)
 	if err != nil {

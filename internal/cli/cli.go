@@ -1,0 +1,103 @@
+// Package cli holds the small pieces shared by the pdfshield commands:
+// the structured-logging flag family (-log-level, -log-json) backed by
+// log/slog, and the journal flag helper. Every command sets the process
+// default logger through here, so diagnostics carry a consistent shape
+// (level, cmd attribute, optional JSON lines) instead of ad-hoc stderr
+// prints.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"strings"
+
+	"pdfshield/internal/journal"
+	"pdfshield/internal/obs"
+)
+
+// LogOptions captures the shared logging flags.
+type LogOptions struct {
+	// Level is the minimum severity emitted: debug, info, warn, error.
+	Level string
+	// JSON switches the handler from human-readable text to JSON lines
+	// (one object per line on stderr, machine-collectable).
+	JSON bool
+}
+
+// RegisterLogFlags installs -log-level and -log-json on fs (typically
+// flag.CommandLine) and returns the options the flags populate.
+func RegisterLogFlags(fs *flag.FlagSet) *LogOptions {
+	o := &LogOptions{Level: "info"}
+	fs.StringVar(&o.Level, "log-level", o.Level, "minimum log level: debug, info, warn or error")
+	fs.BoolVar(&o.JSON, "log-json", false, "emit logs as JSON lines instead of text")
+	return o
+}
+
+// ParseLevel maps a flag string to a slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("unknown log level %q (want debug, info, warn or error)", s)
+	}
+}
+
+// SetupLogger builds the logger the options describe (writing to stderr),
+// installs it as the slog default so library-level slog calls inherit it,
+// and returns it tagged with the command name.
+func (o *LogOptions) SetupLogger(cmd string) (*slog.Logger, error) {
+	level, err := ParseLevel(o.Level)
+	if err != nil {
+		return nil, err
+	}
+	hopts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	if o.JSON {
+		h = slog.NewJSONHandler(os.Stderr, hopts)
+	} else {
+		h = slog.NewTextHandler(os.Stderr, hopts)
+	}
+	logger := slog.New(h).With("cmd", cmd)
+	slog.SetDefault(logger)
+	return logger, nil
+}
+
+// JournalOptions captures the shared journaling flags.
+type JournalOptions struct {
+	// Path is the JSONL journal file to record into ("" = journaling off).
+	Path string
+	// Session names the recording in the session-start header.
+	Session string
+}
+
+// RegisterJournalFlags installs -journal and -journal-session on fs.
+func RegisterJournalFlags(fs *flag.FlagSet, defaultSession string) *JournalOptions {
+	o := &JournalOptions{Session: defaultSession}
+	fs.StringVar(&o.Path, "journal", "", "record a forensic event journal (JSONL) to this file; empty = off")
+	fs.StringVar(&o.Session, "journal-session", o.Session, "session name stamped in the journal header")
+	return o
+}
+
+// Open creates the journal writer the options describe, or returns nil
+// when journaling is off. CLI journals flush per event: the file is a
+// forensic record that must survive a crash of the very process it is
+// documenting.
+func (o *JournalOptions) Open(reg *obs.Registry) (*journal.Writer, error) {
+	if o.Path == "" {
+		return nil, nil
+	}
+	return journal.Create(o.Path, journal.Options{
+		Session:   o.Session,
+		Obs:       reg,
+		FlushEach: true,
+	})
+}

@@ -8,6 +8,7 @@ import (
 
 	"pdfshield/internal/hook"
 	"pdfshield/internal/instrument"
+	"pdfshield/internal/journal"
 	"pdfshield/internal/obs"
 	"pdfshield/internal/sandbox"
 	"pdfshield/internal/soapsrv"
@@ -30,6 +31,13 @@ type Config struct {
 	// Obs, when non-nil, receives alert / fake-message / per-feature
 	// trigger counters.
 	Obs *obs.Registry
+	// Journal, when non-nil, receives the forensic event stream: every
+	// context transition, hook event with its decision, feature trigger,
+	// confinement action and alert. Appends happen under the detector's
+	// state lock, so journal order is state-machine order — the contract
+	// journal.Replay depends on. Journal sink errors are fail-open (see
+	// internal/journal) and never affect detection.
+	Journal *journal.Writer
 }
 
 // Alert is raised when a document's malscore crosses the threshold or a
@@ -40,6 +48,10 @@ type Alert struct {
 	Malscore int
 	Features Vector
 	Reason   string
+	// Cause is the validation error text behind a fake-message (mimicry)
+	// alert ("" for malscore alerts), so the alert carries the same
+	// diagnosis the journal and metrics record.
+	Cause string
 	// IsolatedFiles are paths quarantined by confinement.
 	IsolatedFiles []string
 	// TerminatedPIDs are sandboxed processes killed by confinement.
@@ -219,11 +231,25 @@ func (d *Detector) IsMalicious(docID string) bool {
 	return false
 }
 
+// Notify feeds one context notification directly into the detector,
+// bypassing the SOAP transport. The live SOAP server delivers to this
+// same method; journal.Replay uses it to re-feed a recorded stream.
+func (d *Detector) Notify(n soapsrv.Notify, remote string) error {
+	return d.handleNotify(n, remote)
+}
+
+// Event feeds one hooked API call directly into the detector, bypassing
+// the TCP transport (the hook server's live path, and journal.Replay's).
+func (d *Detector) Event(ev hook.Event) hook.Decision {
+	return d.handleEvent(ev)
+}
+
 // ForgetDoc drops the volatile per-document state (malscore is volatile:
 // it no longer exists once the reader closes, §III-E).
 func (d *Detector) ForgetDoc(instrKey string) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.journalForget(instrKey)
 	delete(d.docs, instrKey)
 	for pid, key := range d.active {
 		if key == instrKey {
@@ -250,6 +276,7 @@ func (d *Detector) handleNotify(n soapsrv.Notify, remote string) error {
 	st := d.docStateLocked(k.InstrKey, rec)
 	st.PID = n.PID
 	mem := d.memForLocked(n.PID)
+	d.journalCtx(n, st, mem)
 
 	switch n.Event {
 	case soapsrv.EventEnter:
@@ -290,16 +317,20 @@ func (d *Detector) fakeMessageLocked(n soapsrv.Notify, cause error) {
 			}
 		}
 	}
+	d.journalFake(n, st, cause)
 	if st == nil {
 		// No attributable document; record a detector-level alert.
-		d.alerts = append(d.alerts, Alert{
+		a := Alert{
 			DocID:  "<unknown>",
 			Reason: "fake-message: " + cause.Error(),
-		})
+			Cause:  cause.Error(),
+		}
+		d.alerts = append(d.alerts, a)
+		d.journalAlert(nil, a)
 		return
 	}
 	st.Ops = append(st.Ops, "fake-message: "+cause.Error())
-	d.raiseAlertLocked(st, "fake-message")
+	d.raiseAlertLocked(st, "fake-message", cause.Error())
 }
 
 // countFeatureTrigger records a feature's first trigger on a document.
@@ -333,7 +364,15 @@ func (d *Detector) handleEvent(ev hook.Event) hook.Decision {
 			active.PeakMemMB = ev.MemMB
 		}
 	}
+	dec := d.decideLocked(ev, active)
+	d.journalHook(ev, dec, active)
+	return dec
+}
 
+// decideLocked dispatches one event to its behaviour handler and returns
+// the confinement decision (split from handleEvent so the journal can
+// record the event together with its decision).
+func (d *Detector) decideLocked(ev hook.Event, active *DocState) hook.Decision {
 	switch ev.Behavior() {
 	case hook.BehaviorMemorySample:
 		if active != nil && active.InContext {
@@ -388,8 +427,10 @@ func (d *Detector) updateMemoryFeatureLocked(st *DocState, curMemMB float64) {
 	}
 	if st.PeakMemMB-st.EnterMemMB >= d.cfg.MemoryThresholdMB {
 		if st.Features[FMemory] == 0 {
-			st.Ops = append(st.Ops, fmt.Sprintf("injs-memory: +%.0f MB", st.PeakMemMB-st.EnterMemMB))
+			op := fmt.Sprintf("injs-memory: +%.0f MB", st.PeakMemMB-st.EnterMemMB)
+			st.Ops = append(st.Ops, op)
 			d.countFeatureTrigger(FMemory)
+			d.journalFeature(st, FMemory, op)
 		}
 		st.Features[FMemory] = 1
 		st.Armed = true
@@ -411,12 +452,14 @@ func (d *Detector) onDropLocked(ev hook.Event, active *DocState) hook.Decision {
 			_ = d.downloads.Add(DownloadEntry{Path: path, DocID: active.DocID, Key: active.InstrKey})
 		}
 		if active.Alerted {
+			d.journalConfine(active, journal.ConfineDropBlocked, path, 0)
 			return hook.Decision{Action: hook.ActionReject, Note: "post-alert: drop blocked"}
 		}
 		d.evaluateLocked(active)
 		if active.Alerted {
 			// This very drop tipped the malscore; block it so the file
 			// never lands (earlier drops are quarantined by the alert).
+			d.journalConfine(active, journal.ConfineDropBlocked, path, 0)
 			return hook.Decision{Action: hook.ActionReject, Note: "alert raised: drop blocked"}
 		}
 		return hook.Decision{Action: hook.ActionAllow, Note: "drop tracked"}
@@ -494,9 +537,11 @@ func (d *Detector) onProcessLocked(ev hook.Event, active *DocState) hook.Decisio
 		owner = d.someArmedDocLocked(ev.PID)
 	}
 	if owner != nil && owner.Alerted {
+		d.journalConfine(owner, journal.ConfineProcessBlocked, path, 0)
 		return hook.Decision{Action: hook.ActionReject, Note: "post-alert: process creation blocked"}
 	}
 	pid := d.sandbox.Run(path, ev.PID)
+	d.journalConfine(owner, journal.ConfineSandboxed, path, pid)
 	if owner != nil {
 		owner.SandboxPIDs = append(owner.SandboxPIDs, pid)
 		d.evaluateLocked(owner)
@@ -529,6 +574,7 @@ func (d *Detector) onInjectLocked(ev hook.Event, active *DocState) hook.Decision
 		}
 	}
 	// Table III: always reject; isolate the DLL.
+	d.journalConfine(active, journal.ConfineInjectionRejected, dll, 0)
 	if d.cfg.OS.FileExists(dll) {
 		d.cfg.OS.Quarantine(dll, "dll-injection rejected")
 	}
@@ -540,6 +586,7 @@ func (d *Detector) markLocked(st *DocState, feature int, op string) {
 	if st.Features[feature] == 0 {
 		st.Ops = append(st.Ops, op)
 		d.countFeatureTrigger(feature)
+		d.journalFeature(st, feature, op)
 	}
 	st.Features[feature] = 1
 	if feature >= FMemory {
@@ -552,6 +599,7 @@ func (d *Detector) markOutJSLocked(st *DocState, feature int, op string) {
 	if st.Features[feature] == 0 {
 		st.Ops = append(st.Ops, op)
 		d.countFeatureTrigger(feature)
+		d.journalFeature(st, feature, op)
 	}
 	st.Features[feature] = 1
 }
@@ -564,13 +612,14 @@ func (d *Detector) evaluateLocked(st *DocState) {
 	}
 	score := st.Features.Malscore(d.cfg.W1, d.cfg.W2)
 	if score >= d.cfg.Threshold {
-		d.raiseAlertLocked(st, "malscore")
+		d.raiseAlertLocked(st, "malscore", "")
 	}
 }
 
 // raiseAlertLocked executes the on-alert confinement of Table III and
-// records the alert.
-func (d *Detector) raiseAlertLocked(st *DocState, reason string) {
+// records the alert (cause carries the fake-message validation error, ""
+// for malscore alerts).
+func (d *Detector) raiseAlertLocked(st *DocState, reason, cause string) {
 	if st.Alerted {
 		return
 	}
@@ -583,12 +632,14 @@ func (d *Detector) raiseAlertLocked(st *DocState, reason string) {
 		Malscore: st.Features.Malscore(d.cfg.W1, d.cfg.W2),
 		Features: st.Features,
 		Reason:   reason,
+		Cause:    cause,
 		Ops:      append([]string(nil), st.Ops...),
 	}
 	// Isolate dropped files.
 	for _, f := range st.DroppedFiles {
 		if d.cfg.OS.Quarantine(f, "alert: dropped by "+st.DocID) {
 			alert.IsolatedFiles = append(alert.IsolatedFiles, f)
+			d.journalConfine(st, journal.ConfineIsolated, f, 0)
 		}
 	}
 	// Terminate sandboxed processes and isolate their executables.
@@ -596,9 +647,11 @@ func (d *Detector) raiseAlertLocked(st *DocState, reason string) {
 		if path, ok := d.sandbox.PathOf(pid); ok {
 			if d.sandbox.Terminate(pid) {
 				alert.TerminatedPIDs = append(alert.TerminatedPIDs, pid)
+				d.journalConfine(st, journal.ConfineTerminated, path, pid)
 			}
 			if d.cfg.OS.Quarantine(path, "alert: executed by "+st.DocID) {
 				alert.IsolatedFiles = append(alert.IsolatedFiles, path)
+				d.journalConfine(st, journal.ConfineIsolated, path, 0)
 			}
 		}
 	}
@@ -606,7 +659,9 @@ func (d *Detector) raiseAlertLocked(st *DocState, reason string) {
 	for _, dll := range st.InjectedDLLs {
 		if d.cfg.OS.Quarantine(dll, "alert: injected by "+st.DocID) {
 			alert.IsolatedFiles = append(alert.IsolatedFiles, dll)
+			d.journalConfine(st, journal.ConfineIsolated, dll, 0)
 		}
 	}
 	d.alerts = append(d.alerts, alert)
+	d.journalAlert(st, alert)
 }

@@ -64,6 +64,25 @@ func (v Vector) Malscore(w1, w2 int) int {
 	return w1*sumStatic + w2*sumInJS
 }
 
+// Contributions returns each feature's weighted contribution to
+// Equation 1's malscore (w1 for F1–F7, w2 for F8–F13; zero for unset
+// features). Summing the result reproduces Malscore(w1, w2) — the
+// per-feature breakdown journaled with every alert.
+func (v Vector) Contributions(w1, w2 int) [NumFeatures]int {
+	var out [NumFeatures]int
+	for i, b := range v {
+		if b == 0 {
+			continue
+		}
+		if i <= FOutJSInject {
+			out[i] = w1 * b
+		} else {
+			out[i] = w2 * b
+		}
+	}
+	return out
+}
+
 // HasInJS reports whether any JS-context feature is set.
 func (v Vector) HasInJS() bool {
 	for i := FMemory; i <= FDLLInject; i++ {

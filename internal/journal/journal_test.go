@@ -1,0 +1,221 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pdfshield/internal/obs"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Options{Session: "test"})
+	w.Append(Event{T: TypeCtx, DocID: "d1", Key: "k1", PID: 7,
+		Ctx: &Ctx{Event: "enter", WireKey: "det:k1", Seq: 1, MemMB: 12.5}})
+	w.Append(Event{T: TypeHook, PID: 7,
+		Hook: &Hook{API: "Collab.getIcon", Args: []string{"x"}, MemMB: 30, Behavior: "suspicious", Action: "allow"}})
+	w.Append(Event{T: TypeFeature, DocID: "d1", Key: "k1",
+		Feature: &Feature{Index: 8, Name: "F9:injs-suspicious", Op: "Collab.getIcon"}})
+	w.Append(Event{T: TypeAlert, DocID: "d1", Key: "k1",
+		Alert: &Alert{Malscore: 6, Features: []string{"F9:injs-suspicious"}, Reason: "malscore"}})
+	w.Append(Event{T: TypeForget, Key: "k1"})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 6 { // session-start header + 5 appends
+		t.Fatalf("got %d events, want 6", len(events))
+	}
+	if events[0].T != TypeSessionStart || events[0].Session != "test" {
+		t.Errorf("header = %+v", events[0])
+	}
+	for i, e := range events {
+		if e.Seq != uint64(i+1) {
+			t.Errorf("event %d has seq %d", i, e.Seq)
+		}
+		if e.TimeNS == 0 {
+			t.Errorf("event %d missing timestamp", i)
+		}
+	}
+	if c := events[1].Ctx; c == nil || c.Event != "enter" || c.WireKey != "det:k1" || c.MemMB != 12.5 {
+		t.Errorf("ctx payload = %+v", events[1].Ctx)
+	}
+	if h := events[2].Hook; h == nil || h.API != "Collab.getIcon" || h.Action != "allow" {
+		t.Errorf("hook payload = %+v", events[2].Hook)
+	}
+	if a := events[4].Alert; a == nil || a.Malscore != 6 || a.Reason != "malscore" {
+		t.Errorf("alert payload = %+v", events[4].Alert)
+	}
+	if got := w.Events(); got != 6 {
+		t.Errorf("Events() = %d, want 6", got)
+	}
+}
+
+func TestCreateAndReadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	w, err := Create(path, Options{Session: "file-test", FlushEach: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Append(Event{T: TypeDocOpen, DocID: "doc.pdf", Cause: "123 bytes"})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[1].DocID != "doc.pdf" {
+		t.Fatalf("events = %+v", events)
+	}
+	// Appends after Close are dropped and counted, never written.
+	w.Append(Event{T: TypeDocOpen, DocID: "late.pdf"})
+	if w.Dropped() != 1 {
+		t.Errorf("Dropped() = %d after post-close append", w.Dropped())
+	}
+	again, err := ReadFile(path)
+	if err != nil || len(again) != 2 {
+		t.Fatalf("journal grew after Close: %d events, err=%v", len(again), err)
+	}
+}
+
+func TestReadRejectsReordering(t *testing.T) {
+	in := `{"seq":1,"t":"session-start"}` + "\n" + `{"seq":3,"t":"ctx"}` + "\n" + `{"seq":2,"t":"hook"}` + "\n"
+	if _, err := Read(strings.NewReader(in)); err == nil {
+		t.Fatal("reordered sequence accepted")
+	}
+}
+
+func TestReadSkipsBlankAndFailsOnGarbage(t *testing.T) {
+	in := "\n" + `{"seq":1,"t":"session-start"}` + "\n\n" + `{"seq":2,"t":"ctx"}` + "\n"
+	events, err := Read(strings.NewReader(in))
+	if err != nil || len(events) != 2 {
+		t.Fatalf("events=%d err=%v", len(events), err)
+	}
+	if _, err := Read(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("garbage line accepted")
+	}
+}
+
+func TestReadBoundsLineLength(t *testing.T) {
+	huge := fmt.Sprintf(`{"seq":1,"t":"ctx","doc":%q}`, strings.Repeat("A", maxLineBytes))
+	if _, err := Read(strings.NewReader(huge + "\n")); err == nil {
+		t.Fatal("oversized line accepted")
+	}
+}
+
+// failWriter errors on every write, like a journal on a full disk.
+type failWriter struct{ writes int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.writes++
+	return 0, errors.New("disk full")
+}
+
+func TestFailOpenOnSinkError(t *testing.T) {
+	reg := obs.NewRegistry()
+	fw := &failWriter{}
+	// FlushEach surfaces the sink error on every append, the worst case.
+	w := NewWriter(fw, Options{Obs: reg, FlushEach: true})
+	for i := 0; i < 5; i++ {
+		w.Append(Event{T: TypeCtx, Ctx: &Ctx{Event: "enter"}}) // must not panic or block
+	}
+	if err := w.Err(); err == nil {
+		t.Fatal("Err() = nil after sink failures")
+	}
+	if w.Dropped() == 0 {
+		t.Error("Dropped() = 0 after sink failures")
+	}
+	snap := reg.Snapshot()
+	if snap.Counters[obs.MetricJournalErrors] == 0 {
+		t.Errorf("journal error counter not incremented: %v", snap.Counters)
+	}
+}
+
+func TestNilWriterIsSafe(t *testing.T) {
+	var w *Writer
+	w.Append(Event{T: TypeCtx})
+	if err := w.Flush(); err != nil {
+		t.Error(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Error(err)
+	}
+	if w.Err() != nil || w.Dropped() != 0 || w.Events() != 0 {
+		t.Error("nil writer reported state")
+	}
+}
+
+func TestCanonAndDiff(t *testing.T) {
+	rec := []Event{
+		{T: TypeSessionStart, Session: "live"}, // no canonical form
+		{T: TypeCtx, DocID: "d", Key: "k", PID: 3, Ctx: &Ctx{Event: "enter", Seq: 1}},
+		{T: TypeHook, PID: 3, Hook: &Hook{API: "util.printf", MemMB: 1, Behavior: "suspicious", Action: "allow"}},
+		{T: TypeAlert, DocID: "d", Key: "k", Alert: &Alert{Malscore: 6, Reason: "malscore", Features: []string{"F9"}}},
+		{T: TypeVerdict, DocID: "d", Verdict: &Verdict{Malicious: true}}, // recording-only
+	}
+	rep := []Event{
+		{T: TypeSessionStart, Session: "replay"},
+		{T: TypeCtx, DocID: "d", Key: "k", PID: 3, Ctx: &Ctx{Event: "enter", Seq: 1}},
+		{T: TypeHook, PID: 3, Hook: &Hook{API: "util.printf", MemMB: 1, Behavior: "suspicious", Action: "allow"}},
+		{T: TypeAlert, DocID: "d", Key: "k", Alert: &Alert{Malscore: 6, Reason: "malscore", Features: []string{"F9"}}},
+	}
+	if diffs := Diff(rec, rep); diffs != nil {
+		t.Fatalf("identical canonical streams diffed: %v", diffs)
+	}
+
+	rep[3].Alert.Malscore = 4
+	diffs := Diff(rec, rep)
+	if len(diffs) != 1 || !strings.Contains(diffs[0], "alert|d|k|6") || !strings.Contains(diffs[0], "alert|d|k|4") {
+		t.Fatalf("diffs = %v", diffs)
+	}
+
+	short := rep[:2]
+	if diffs := Diff(rec, short); len(diffs) == 0 {
+		t.Fatal("missing events not reported")
+	}
+
+	// Volatile fields stay out of the canonical form.
+	a := Event{T: TypeAlert, DocID: "d", Alert: &Alert{
+		Malscore: 6, Reason: "malscore", Features: []string{"F9"},
+		Isolated: []string{"/dropped/a.exe"}, Terminated: []int{42},
+	}}
+	b := Event{T: TypeAlert, DocID: "d", Alert: &Alert{
+		Malscore: 6, Reason: "malscore", Features: []string{"F9"},
+	}}
+	if a.Canon() != b.Canon() {
+		t.Errorf("volatile confinement results leaked into canon:\n%s\n%s", a.Canon(), b.Canon())
+	}
+}
+
+// TestFileSyncAndPermissions exercises the fsync path against a real file.
+func TestFileSync(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sync.jsonl")
+	w, err := Create(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Append(Event{T: TypeDocOpen, DocID: "x"})
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(raw, []byte(`"doc-open"`)) {
+		t.Errorf("sync did not persist buffered events: %q", raw)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -38,6 +38,11 @@ const (
 	MetricFakeMessages    = "pdfshield_fake_messages_total"
 	MetricFeatureTriggers = "pdfshield_feature_triggers_total"
 
+	// Forensic event journal health (internal/journal). The fail-open
+	// contract routes sink errors here instead of failing detection.
+	MetricJournalEvents = "pdfshield_journal_events_total"
+	MetricJournalErrors = "pdfshield_journal_errors_total"
+
 	// Front-end cache series (callback-backed from cache.Stats; see
 	// Cache.RegisterMetrics).
 	MetricCacheHits      = "pdfshield_cache_hits_total"

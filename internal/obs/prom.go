@@ -123,9 +123,12 @@ func (m *MetricsServer) Close() error {
 //	/debug/vars  expvar JSON (includes the registry snapshot under
 //	             "pdfshield" plus the Go runtime's standard vars)
 //
-// The server runs until Close. This is what the CLIs' -metrics-addr flag
-// mounts.
+// Go runtime health series (goroutines, heap, GC — see
+// RegisterRuntimeMetrics) are registered automatically, so a -metrics-addr
+// scrape answers "is the scanner healthy" without pprof. The server runs
+// until Close. This is what the CLIs' -metrics-addr flag mounts.
 func (r *Registry) ServeMetrics(addr string) (*MetricsServer, error) {
+	r.RegisterRuntimeMetrics()
 	r.PublishExpvar("pdfshield")
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -1,0 +1,52 @@
+package obs
+
+import "runtime"
+
+// Go runtime health series (callback-backed; see RegisterRuntimeMetrics).
+// These answer "is the scanner process healthy" from a plain /metrics
+// scrape — goroutine leaks, heap growth and GC pressure — without
+// attaching pprof.
+const (
+	MetricGoGoroutines = "pdfshield_go_goroutines"
+	MetricGoHeapBytes  = "pdfshield_go_heap_alloc_bytes"
+	MetricGoSysBytes   = "pdfshield_go_sys_bytes"
+	// MetricGoGCPauseTotal is in integer nanoseconds: the registry's
+	// callback counters fold to uint64, and sub-second totals would
+	// truncate to zero if reported in seconds.
+	MetricGoGCPauseTotal = "pdfshield_go_gc_pause_ns_total"
+	MetricGoGCCycles     = "pdfshield_go_gc_cycles_total"
+)
+
+// RegisterRuntimeMetrics installs callback-backed gauges and counters for
+// the Go runtime: live goroutines, heap in use, total memory obtained
+// from the OS, cumulative GC pause time and completed GC cycles. Values
+// are read at snapshot/scrape time. Idempotent (re-registration replaces
+// the callbacks), so every ServeMetrics call may request it.
+func (r *Registry) RegisterRuntimeMetrics() {
+	if r == nil {
+		return
+	}
+	r.GaugeFunc(MetricGoGoroutines, func() float64 {
+		return float64(runtime.NumGoroutine())
+	})
+	r.GaugeFunc(MetricGoHeapBytes, func() float64 {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return float64(m.HeapAlloc)
+	})
+	r.GaugeFunc(MetricGoSysBytes, func() float64 {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return float64(m.Sys)
+	})
+	r.CounterFunc(MetricGoGCPauseTotal, func() float64 {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return float64(m.PauseTotalNs)
+	})
+	r.CounterFunc(MetricGoGCCycles, func() float64 {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		return float64(m.NumGC)
+	})
+}

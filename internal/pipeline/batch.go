@@ -203,6 +203,7 @@ dispatch:
 func (s *System) processWithSession(ctx context.Context, sess **Session, doc BatchDoc) (v *Verdict, err error) {
 	start := time.Now()
 	tr := obs.StartTrace(doc.ID)
+	s.journalDocOpen(doc.ID, len(doc.Raw))
 	defer func() { s.finishDoc(tr, v, err, time.Since(start)) }()
 	defer func() {
 		if r := recover(); r != nil {

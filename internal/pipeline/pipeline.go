@@ -17,6 +17,7 @@ import (
 	"pdfshield/internal/detect"
 	"pdfshield/internal/hook"
 	"pdfshield/internal/instrument"
+	"pdfshield/internal/journal"
 	"pdfshield/internal/obs"
 	"pdfshield/internal/reader"
 	"pdfshield/internal/winos"
@@ -49,6 +50,13 @@ type Options struct {
 	// (nil = the process-wide obs.Default). Pass a private registry to
 	// isolate a System's telemetry (tests, benchmark passes).
 	Obs *obs.Registry
+	// Journal, when non-nil, records the forensic event stream: document
+	// open/verdict boundaries from the pipeline plus every runtime event
+	// the detector processes (context transitions, hook decisions, feature
+	// triggers, confinement, alerts). The recorded stream replays through
+	// a fresh detector via journal.Replay, reproducing identical verdicts
+	// offline. Sink errors are fail-open and never affect processing.
+	Journal *journal.Writer
 }
 
 // System is a running instance of the whole protection stack.
@@ -112,6 +120,7 @@ func NewSystem(opts Options) (*System, error) {
 		W2:            opts.W2,
 		Threshold:     opts.Threshold,
 		Obs:           obsReg,
+		Journal:       opts.Journal,
 	})
 	if err != nil {
 		return nil, err
@@ -350,6 +359,7 @@ func (s *System) ProcessDocumentContext(ctx context.Context, docID string, raw [
 	}
 	start := time.Now()
 	tr := obs.StartTrace(docID)
+	s.journalDocOpen(docID, len(raw))
 	defer func() { s.finishDoc(tr, v, err, time.Since(start)) }()
 	defer containPanic(s.Obs, &v, &err)
 	if analysisHook != nil {
@@ -379,12 +389,14 @@ func (s *System) ProcessDocumentContext(ctx context.Context, docID string, raw [
 }
 
 // finishDoc closes out one document's processing: outcome counters, the
-// end-to-end latency histogram, and the trace's outcome annotation. The
-// trace is attached to the verdict here so every verdict — including
-// no-javascript short-circuits — carries its timeline.
+// end-to-end latency histogram, the trace's outcome annotation, and the
+// journal's verdict record. The trace is attached to the verdict here so
+// every verdict — including no-javascript short-circuits — carries its
+// timeline.
 func (s *System) finishDoc(tr *obs.Trace, v *Verdict, err error, total time.Duration) {
 	s.Obs.Inc(obs.MetricDocsTotal)
 	s.Obs.Observe(obs.MetricDocSeconds, total)
+	defer func() { s.journalVerdict(tr.DocID, v, err) }()
 	if err != nil || v == nil {
 		s.Obs.Inc(obs.MetricDocsErrored)
 		return
@@ -405,6 +417,47 @@ func (s *System) finishDoc(tr *obs.Trace, v *Verdict, err error, total time.Dura
 		s.Obs.Inc(obs.MetricDocsCrashed)
 	}
 	v.Trace = tr
+}
+
+// journalDocOpen records a document entering the pipeline. Pipeline
+// events are forensic context (they interleave freely with the detector's
+// lock-ordered stream and are not replayed).
+func (s *System) journalDocOpen(docID string, size int) {
+	if s.opts.Journal == nil {
+		return
+	}
+	s.opts.Journal.Append(journal.Event{
+		T:     journal.TypeDocOpen,
+		DocID: docID,
+		Cause: fmt.Sprintf("%d bytes", size),
+	})
+}
+
+// journalVerdict records the final per-document outcome, including the
+// detector's full 13-feature vector and malscore for alerted documents.
+func (s *System) journalVerdict(docID string, v *Verdict, err error) {
+	if s.opts.Journal == nil {
+		return
+	}
+	e := journal.Event{T: journal.TypeVerdict, DocID: docID}
+	payload := &journal.Verdict{}
+	if err != nil {
+		payload.Err = err.Error()
+	}
+	if v != nil {
+		payload.Malicious = v.Malicious
+		payload.NoJavaScript = v.NoJavaScript
+		payload.Crashed = v.Crashed
+		payload.Features = v.FeatureVector[:]
+		if v.Alert != nil {
+			payload.Malscore = v.Alert.Malscore
+		}
+		if v.Instrument != nil {
+			e.Key = v.Instrument.Key.InstrKey
+		}
+	}
+	e.Verdict = payload
+	s.opts.Journal.Append(e)
 }
 
 // claimVerdict renames a verdict to the submitting document's identity: a

@@ -27,11 +27,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"time"
 
 	"pdfshield/internal/cache"
 	"pdfshield/internal/detect"
 	"pdfshield/internal/instrument"
+	"pdfshield/internal/journal"
 	"pdfshield/internal/obs"
 	"pdfshield/internal/pipeline"
 	"pdfshield/internal/reader"
@@ -64,6 +66,43 @@ type Options struct {
 	// dedicated obs.NewRegistry() to isolate one System's numbers, e.g.
 	// when running several Systems in one process.
 	Metrics *Registry
+	// Journal, when non-nil, records the forensic event stream of every
+	// document processed: JS-context transitions, each hooked API call
+	// with the confinement decision returned, feature triggers F6–F13,
+	// fake-message detections with cause, confinement actions, and the
+	// final verdict with per-feature malscore breakdown — one JSONL line
+	// per event with monotonically increasing sequence numbers. Journal
+	// writes are fail-open: a sink error is counted (see Journal.Err)
+	// and never changes a verdict. Build one with NewJournal or
+	// OpenJournal; a recorded journal replays offline through
+	// `pdfshield-detect -replay`.
+	Journal *Journal
+}
+
+// Journal is the append-only forensic event log (JSONL, sequence-numbered,
+// fail-open). See Options.Journal.
+type Journal = journal.Writer
+
+// JournalEvent is one decoded journal record (see ReadJournal).
+type JournalEvent = journal.Event
+
+// NewJournal starts a journal on an arbitrary sink. The session string
+// names the recording in the journal header ("" = "pdfshield").
+func NewJournal(w io.Writer, session string) *Journal {
+	return journal.NewWriter(w, journal.Options{Session: session})
+}
+
+// OpenJournal creates (truncating) a journal file that flushes after
+// every event, so the record survives a crash mid-scan. The caller owns
+// Close.
+func OpenJournal(path, session string) (*Journal, error) {
+	return journal.Create(path, journal.Options{Session: session, FlushEach: true})
+}
+
+// ReadJournal decodes a JSONL journal stream (validating the append-only
+// sequence contract).
+func ReadJournal(r io.Reader) ([]JournalEvent, error) {
+	return journal.Read(r)
 }
 
 // Registry aggregates counters, gauges and latency histograms; see
@@ -158,6 +197,7 @@ func New(opts Options) (*System, error) {
 		DeinstrumentBenign: opts.DeinstrumentBenign,
 		Cache:              cacheCfg,
 		Obs:                opts.Metrics,
+		Journal:            opts.Journal,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("pdfshield: %w", err)
