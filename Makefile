@@ -4,7 +4,7 @@ GO ?= go
 # internal/*/testdata/fuzz/ replay on every plain `make test` regardless.
 FUZZTIME ?= 30s
 
-.PHONY: build vet test race bench bench-json fuzz journal-check
+.PHONY: build vet test race bench bench-json bench-compare fuzz journal-check
 
 build:
 	$(GO) build ./...
@@ -28,9 +28,11 @@ journal-check:
 # observability layer: the worker-pool pipeline (including mid-batch
 # cancellation), the shared runtime detector, the content-addressed
 # front-end cache with its context-aware singleflight, the lock-free
-# metrics registry, and the journal writer all workers append to.
+# metrics registry, the journal writer all workers append to, and the
+# script engine — compiled-unit cache loads and VM dispatch of shared
+# units, exercised under concurrent batch load by the pipeline tests.
 race:
-	$(GO) test -race ./internal/pipeline/... ./internal/detect/... ./internal/cache/... ./internal/obs/... ./internal/journal/...
+	$(GO) test -race ./internal/pipeline/... ./internal/detect/... ./internal/cache/... ./internal/obs/... ./internal/journal/... ./internal/js/...
 
 # Batch-engine benchmarks: docs/sec at 1/4/8 workers plus the pooled
 # parse/serialize round trip.
@@ -43,6 +45,15 @@ bench:
 BENCHJSON ?= BENCH.json
 bench-json:
 	$(GO) run ./cmd/pdfshield-bench -json $(BENCHJSON)
+
+# Perf regression gate: diff two committed benchmark records and fail on a
+# >10% warm open-phase p50 regression. Records that predate the open-phase
+# section (schema/1, BENCH_pr3/pr4) are accepted as OLD; their gate is
+# skipped and only throughput deltas print.
+BENCH_OLD ?= BENCH_pr4.json
+BENCH_NEW ?= BENCH_pr6.json
+bench-compare:
+	$(GO) run ./cmd/pdfshield-bench -compare $(BENCH_OLD) $(BENCH_NEW)
 
 # Fuzz every attacker-facing decoder for FUZZTIME each: full-document PDF
 # parsing, the stream filter codecs, the Javascript interpreter, and the

@@ -30,6 +30,10 @@ type benchRecord struct {
 	GOOS      string `json:"goos"`
 	GOARCH    string `json:"goarch"`
 	NumCPU    int    `json:"num_cpu"`
+	// GoMaxProcs is the scheduler width the record ran under; on
+	// single-core CI boxes GOMAXPROCS is raised past NumCPU so the worker
+	// pool and VM dispatch still run genuinely interleaved.
+	GoMaxProcs int `json:"gomaxprocs"`
 	Seed      int64  `json:"seed"`
 
 	Corpus benchCorpus `json:"corpus"`
@@ -53,6 +57,14 @@ type benchRecord struct {
 	// registry's phase histograms — the same series /metrics exposes — not
 	// from ad-hoc stopwatches.
 	Phases benchPhases `json:"phases"`
+
+	// Open benchmarks the reader-side open of JS-bearing documents under
+	// both script engines (schema/2; zero-valued in older records).
+	Open benchOpenPhase `json:"open_phase"`
+	// JSEngine isolates the script engine on controlled workloads where
+	// the parse/execute split — what bytecode compilation changes — is
+	// explicit (schema/2).
+	JSEngine []benchJSWorkload `json:"js_engine"`
 }
 
 type benchCorpus struct {
@@ -246,13 +258,14 @@ func runJSONBench(path string, seed int64, workers, docs, unique int, cacheCfg c
 	corpusRounds, totalBytes := benchCorpusDocs(seed, unique, rounds)
 
 	rec := benchRecord{
-		Schema:    "pdfshield-bench/1",
+		Schema:    "pdfshield-bench/2",
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		Seed:      seed,
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Seed:       seed,
 		Corpus: benchCorpus{
 			Docs:       unique * rounds,
 			Unique:     unique,
@@ -301,6 +314,22 @@ func runJSONBench(path string, seed int64, workers, docs, unique int, cacheCfg c
 	if rec.ParallelCached.Malicious != rec.ParallelUncached.Malicious {
 		return fmt.Errorf("verdict divergence: cached pass convicted %d, uncached %d",
 			rec.ParallelCached.Malicious, rec.ParallelUncached.Malicious)
+	}
+
+	rec.Open, err = runOpenBench(seed, openBenchDocCount, openBenchReps)
+	if err != nil {
+		return fmt.Errorf("open-phase bench: %w", err)
+	}
+	fmt.Printf("  open p50 (µs):     tree %.0f / bytecode cold %.0f / bytecode warm %.0f (%.2fx, %.0f%% unit hits)\n",
+		rec.Open.TreeWalk.P50Us, rec.Open.BytecodeCold.P50Us, rec.Open.BytecodeWarm.P50Us,
+		rec.Open.WarmSpeedup, rec.Open.UnitHitRate*100)
+
+	rec.JSEngine, err = runJSEngineBench()
+	if err != nil {
+		return fmt.Errorf("js-engine bench: %w", err)
+	}
+	for _, w := range rec.JSEngine {
+		fmt.Printf("  js %-18s tree %8.1fµs / bytecode %8.1fµs (%.2fx)\n", w.Name+":", w.TreeUs, w.VMUs, w.Speedup)
 	}
 
 	data, err := json.MarshalIndent(rec, "", "  ")

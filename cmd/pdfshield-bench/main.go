@@ -12,6 +12,7 @@
 //	                [-cache-entries N] [-cache-bytes N] [-cache-ttl d]
 //	                [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	                [-metrics-addr host:port]
+//	pdfshield-bench -compare OLD.json NEW.json
 //
 // -metrics-addr serves live counters and phase-latency histograms in
 // Prometheus text format on /metrics (expvar JSON on /debug/vars) while
@@ -33,6 +34,10 @@
 //
 // -cpuprofile / -memprofile write pprof profiles of whichever mode ran, so
 // perf work starts from a profile instead of a guess.
+//
+// -compare diffs two committed records and exits non-zero if the new one's
+// warm open-phase p50 regressed more than 10% — the CI gate behind
+// `make bench-compare`.
 package main
 
 import (
@@ -74,6 +79,7 @@ func run() error {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus text metrics on this address (/metrics, plus expvar on /debug/vars); empty = off")
+	compare := flag.Bool("compare", false, "compare two BENCH_*.json records (positional args: OLD NEW); non-zero exit on >10% open-p50 regression")
 	logOpts := cli.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -87,6 +93,13 @@ func run() error {
 			fmt.Println(exp.ID)
 		}
 		return nil
+	}
+
+	if *compare {
+		if flag.NArg() != 2 {
+			return fmt.Errorf("-compare needs exactly two record paths: OLD NEW")
+		}
+		return runCompare(flag.Arg(0), flag.Arg(1))
 	}
 
 	if *metricsAddr != "" {

@@ -122,6 +122,31 @@ func (g *Generator) BenignFormJS() Sample {
 	return Sample{ID: g.id("benign-form"), Raw: raw, Label: LabelBenign, Family: "benign-form-js", HasJS: true, Outcome: OutcomeHarmless}
 }
 
+// BenignInteractiveJS builds the open-phase benchmark population: small
+// interactive documents (a few KB of carrier) holding several light form
+// scripts. Their open cost is dominated by script handling — monitoring
+// prologue parse/compile plus brief execution — rather than by carrier
+// parsing or bulk string work, which is exactly the population where the
+// script engine's open-path cost shows.
+func (g *Generator) BenignInteractiveJS() Sample {
+	n := 2 + g.rng.Intn(3)
+	scripts := make([]string, n)
+	for i := range scripts {
+		scripts[i] = benignFormScript(g.rng)
+	}
+	spec := docSpec{
+		scripts:        scripts,
+		pages:          1 + g.rng.Intn(2),
+		contentBytes:   3<<10 + g.rng.Intn(4<<10),
+		scriptAsStream: g.rng.Intn(2) == 0,
+	}
+	raw, err := buildDoc(g.rng, spec)
+	if err != nil {
+		panic("corpus: benign interactive: " + err.Error())
+	}
+	return Sample{ID: g.id("benign-inter"), Raw: raw, Label: LabelBenign, Family: "benign-interactive-js", HasJS: true, Outcome: OutcomeHarmless}
+}
+
 // BenignNavJS builds a document with navigation/viewer scripts.
 func (g *Generator) BenignNavJS() Sample {
 	spec := docSpec{

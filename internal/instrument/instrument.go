@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"pdfshield/internal/js"
 	"pdfshield/internal/obs"
 	"pdfshield/internal/pdf"
 )
@@ -31,6 +32,11 @@ type Options struct {
 	// documents' phases fold into their host's top-level observation, so
 	// one submission is one observation per phase.
 	Obs *obs.Registry
+	// Units is the compiled-unit cache to precompile monitoring code into
+	// (nil = js.DefaultUnits). Instrumentation-time precompilation means
+	// the reader's first open of a freshly instrumented document finds its
+	// prologue/epilogue already compiled and pays only a cache hit.
+	Units *js.UnitCache
 }
 
 // ErrNoJavaScript is returned when a document has nothing to instrument.
@@ -44,6 +50,7 @@ type Instrumenter struct {
 	endpoint string
 	rng      *rand.Rand
 	obs      *obs.Registry
+	units    *js.UnitCache
 }
 
 // New returns an Instrumenter bound to a key registry.
@@ -56,10 +63,15 @@ func New(registry *Registry, opts Options) *Instrumenter {
 	if seed == 0 {
 		seed = time.Now().UnixNano()
 	}
+	units := opts.Units
+	if units == nil {
+		units = js.DefaultUnits
+	}
 	return &Instrumenter{
 		registry: registry,
 		endpoint: endpoint,
 		obs:      opts.Obs,
+		units:    units,
 		//nolint:gosec // randomization of code layout, not cryptography; the
 		// protection key material comes from crypto/rand in key.go.
 		// lockedSource makes the shared Instrumenter safe for concurrent
@@ -347,10 +359,20 @@ func (ins *Instrumenter) instrumentBytesDepth(docID string, raw []byte, hash str
 		}
 		rewritten, nStaged := ins.rewriteStaged(combined, 0, func(inner string) string {
 			seq++
-			return builder.build(key, seq, inner)
+			m := builder.build(key, seq, inner)
+			// Inner monitors reach the interpreter through eval at run
+			// time; compile them now so every stage of a staged chain
+			// opens warm.
+			ins.units.Warm(m)
+			return m
 		})
 		res.StagedRewrites += nStaged
 		monitored := builder.build(key, seq, rewritten)
+		// Precompile both what the reader's Run sees (the outer monitor)
+		// and what its decryptor evals (the rewritten payload): the first
+		// open of this document then hits the unit cache on every layer.
+		ins.units.Warm(monitored)
+		ins.units.Warm(rewritten)
 
 		if err := ins.replaceScript(doc, chain, monitored, &res.Spec); err != nil {
 			return nil, fmt.Errorf("instrument %s holder %d: %w", docID, chain.Holder, err)

@@ -36,7 +36,7 @@ func (it *Interp) stringCharAt(v Value, idx int) (Value, error) {
 	if err := it.work(len(v.str)); err != nil {
 		return Undefined(), err
 	}
-	u := stringUnits(v.str)
+	u := it.units16(v.str)
 	return it.newString(unitsToString(u[idx : idx+1]))
 }
 
@@ -47,7 +47,7 @@ func (it *Interp) stringCharCodeAt(v Value, idx int) float64 {
 	if isASCII(v) {
 		return float64(v.str[idx])
 	}
-	u := stringUnits(v.str)
+	u := it.units16(v.str)
 	return float64(u[idx])
 }
 
@@ -73,7 +73,7 @@ func (it *Interp) stringSlice(v Value, start, end int) (Value, error) {
 	if err := it.work(len(v.str)); err != nil {
 		return Undefined(), err
 	}
-	u := stringUnits(v.str)
+	u := it.units16(v.str)
 	return it.newString(unitsToString(u[start:end]))
 }
 
@@ -98,6 +98,21 @@ func thisString(it *Interp, this Value) (string, error) {
 	return valueToString(it, this)
 }
 
+// thisStringValue returns this as a string Value. When this already is one
+// the value is returned as-is, keeping its cached UTF-16 length — the hot
+// per-character methods (charAt/charCodeAt/substr) would otherwise rescan
+// the whole string on every call.
+func thisStringValue(it *Interp, this Value) (Value, error) {
+	if this.IsString() {
+		return this, nil
+	}
+	s, err := valueToString(it, this)
+	if err != nil {
+		return Undefined(), err
+	}
+	return StringValue(s), nil
+}
+
 // ---- String methods ----
 
 var stringMethods map[string]HostFn
@@ -116,29 +131,28 @@ var functionMethods map[string]HostFn
 func init() {
 	stringMethods = map[string]HostFn{
 		"charAt": func(it *Interp, this Value, args []Value) (Value, error) {
-			s, err := thisString(it, this)
+			sv, err := thisStringValue(it, this)
 			if err != nil {
 				return Undefined(), err
 			}
-			return it.stringCharAt(StringValue(s), toIntArg(arg(args, 0), 0))
+			return it.stringCharAt(sv, toIntArg(arg(args, 0), 0))
 		},
 		"charCodeAt": func(it *Interp, this Value, args []Value) (Value, error) {
-			s, err := thisString(it, this)
+			sv, err := thisStringValue(it, this)
 			if err != nil {
 				return Undefined(), err
 			}
-			sv := StringValue(s)
 			if !isASCII(sv) {
 				// Billing the UTF-16 re-encode keeps shellcode-style
 				// charCodeAt loops within the step budget's time bound.
-				if err := it.work(len(s)); err != nil {
+				if err := it.work(len(sv.str)); err != nil {
 					return Undefined(), err
 				}
 			}
 			return NumberValue(it.stringCharCodeAt(sv, toIntArg(arg(args, 0), 0))), nil
 		},
 		"indexOf": func(it *Interp, this Value, args []Value) (Value, error) {
-			s, err := thisString(it, this)
+			sv, err := thisStringValue(it, this)
 			if err != nil {
 				return Undefined(), err
 			}
@@ -146,10 +160,10 @@ func init() {
 			if err != nil {
 				return Undefined(), err
 			}
+			s := sv.str
 			if err := it.work(len(s) + len(needle)); err != nil {
 				return Undefined(), err
 			}
-			sv := StringValue(s)
 			if isASCII(sv) && utf16Len(needle) == len(needle) {
 				from := clampIndex(toIntArg(arg(args, 1), 0), len(s))
 				idx := strings.Index(s[from:], needle)
@@ -158,7 +172,7 @@ func init() {
 				}
 				return NumberValue(float64(from + idx)), nil
 			}
-			u := stringUnits(s)
+			u := it.units16(s)
 			n := stringUnits(needle)
 			from := clampIndex(toIntArg(arg(args, 1), 0), len(u))
 			for i := from; i+len(n) <= len(u); i++ {
@@ -195,21 +209,19 @@ func init() {
 			return NumberValue(float64(utf16Len(s[:idx]))), nil
 		},
 		"substring": func(it *Interp, this Value, args []Value) (Value, error) {
-			s, err := thisString(it, this)
+			sv, err := thisStringValue(it, this)
 			if err != nil {
 				return Undefined(), err
 			}
-			sv := StringValue(s)
 			start := toIntArg(arg(args, 0), 0)
 			end := toIntArg(arg(args, 1), sv.strLen)
 			return it.stringSlice(sv, start, end)
 		},
 		"substr": func(it *Interp, this Value, args []Value) (Value, error) {
-			s, err := thisString(it, this)
+			sv, err := thisStringValue(it, this)
 			if err != nil {
 				return Undefined(), err
 			}
-			sv := StringValue(s)
 			start := toIntArg(arg(args, 0), 0)
 			if start < 0 {
 				start = sv.strLen + start
@@ -224,11 +236,10 @@ func init() {
 			return it.stringSlice(sv, start, start+length)
 		},
 		"slice": func(it *Interp, this Value, args []Value) (Value, error) {
-			s, err := thisString(it, this)
+			sv, err := thisStringValue(it, this)
 			if err != nil {
 				return Undefined(), err
 			}
-			sv := StringValue(s)
 			start := toIntArg(arg(args, 0), 0)
 			end := toIntArg(arg(args, 1), sv.strLen)
 			if start < 0 {

@@ -126,9 +126,34 @@ type Interp struct {
 	StepLimit int64
 	// MaxHeap bounds HeapBytes (0 = DefaultMaxHeap).
 	MaxHeap int64
+	// TreeWalk forces the recursive evaluator instead of the bytecode VM.
+	// The differential harness uses it; production opens leave it false.
+	TreeWalk bool
+	// Units overrides the compiled-unit cache (nil = DefaultUnits).
+	Units *UnitCache
 
 	steps    int64
 	curScope *Scope
+
+	// unitsMemo caches the most recent UTF-16 re-encoding done by the
+	// string builtins. Decoder loops (charCodeAt over an escaped payload)
+	// hit the same string thousands of times; the memo makes them O(n)
+	// wall-clock while the work() billing stays exactly as charged before,
+	// so budget-exhaustion points are unchanged.
+	unitsMemoStr string
+	unitsMemo    []uint16
+}
+
+// units16 returns s as UTF-16 code units, memoizing the last conversion.
+// The s == memo comparison short-circuits on identical backing pointers,
+// so repeated calls against one string value never rescan it.
+func (it *Interp) units16(s string) []uint16 {
+	if it.unitsMemo != nil && s == it.unitsMemoStr {
+		return it.unitsMemo
+	}
+	u := stringUnits(s)
+	it.unitsMemoStr, it.unitsMemo = s, u
+	return u
 }
 
 // New returns an interpreter with builtins installed.
@@ -150,6 +175,28 @@ func (it *Interp) step() error {
 	if it.steps > limit {
 		return ErrBudget
 	}
+	return nil
+}
+
+// chargeSteps bills a folded step charge of k node entries at once. It
+// reproduces the tree-walker's behavior bit-for-bit: there, charges land one
+// step at a time and execution stops at the first step past the limit, so on
+// budget exhaustion the visible counter reads limit+1 rather than
+// overshooting by the folded amount.
+func (it *Interp) chargeSteps(k int64) error {
+	limit := it.StepLimit
+	if limit == 0 {
+		limit = DefaultStepLimit
+	}
+	if it.steps+k > limit {
+		if it.steps <= limit {
+			it.steps = limit + 1
+		} else {
+			it.steps++
+		}
+		return ErrBudget
+	}
+	it.steps += k
 	return nil
 }
 
@@ -233,17 +280,48 @@ func (it *Interp) throwNamed(name, msg string) error {
 }
 
 // Run parses and executes src in the global scope, returning the completion
-// value (the value of the last expression statement).
+// value (the value of the last expression statement). Compiled units are
+// reused across runs through the content-addressed unit cache.
 func (it *Interp) Run(src string) (Value, error) {
-	prog, err := Parse(src)
+	if it.TreeWalk {
+		prog, err := Parse(src)
+		if err != nil {
+			return Undefined(), err
+		}
+		return it.runProgramTree(prog)
+	}
+	code, err := it.units().Load(src)
 	if err != nil {
 		return Undefined(), err
 	}
-	return it.RunProgram(prog)
+	return it.runCode(code, it.Global, modeProgram)
 }
 
 // RunProgram executes a parsed program in the global scope.
 func (it *Interp) RunProgram(prog *Program) (Value, error) {
+	if it.TreeWalk {
+		return it.runProgramTree(prog)
+	}
+	return it.runCode(Compile(prog), it.Global, modeProgram)
+}
+
+// RunCode executes a precompiled unit in the global scope with program
+// semantics. The reader uses it to run instrumentation prologue/epilogue
+// units compiled once at instrument time.
+func (it *Interp) RunCode(code *Code) (Value, error) {
+	return it.runCode(code, it.Global, modeProgram)
+}
+
+func (it *Interp) units() *UnitCache {
+	if it.Units != nil {
+		return it.Units
+	}
+	return DefaultUnits
+}
+
+// runProgramTree is the recursive-evaluator program path, kept as the
+// reference implementation for the differential harness.
+func (it *Interp) runProgramTree(prog *Program) (Value, error) {
 	sc := it.Global
 	it.curScope = sc
 	hoist(prog.Body, sc, it)
@@ -575,6 +653,9 @@ func (it *Interp) callFunction(fn *Object, this Value, args []Value) (Value, err
 	if fn.Host != nil {
 		return fn.Host(it, this, args)
 	}
+	if fn.Proto != nil {
+		return it.callCompiled(fn, this, args)
+	}
 	if fn.Fn == nil {
 		return Undefined(), it.throwTypeError("%s is not a function", fn.Name)
 	}
@@ -634,10 +715,23 @@ func (it *Interp) CurrentScope() *Scope {
 }
 
 // EvalInScope parses and runs src in the given scope (eval semantics).
+// Compiled units are cached by content hash, so unpacker loops that eval the
+// same decoded payload repeatedly compile it once.
 func (it *Interp) EvalInScope(src string, sc *Scope) (Value, error) {
-	prog, err := Parse(src)
+	if it.TreeWalk {
+		return it.evalInScopeTree(src, sc)
+	}
+	code, err := it.units().Load(src)
 	if err != nil {
 		// eval of malformed source throws a catchable SyntaxError.
+		return Undefined(), it.throwNamed("SyntaxError", err.Error())
+	}
+	return it.runCode(code, sc, modeEval)
+}
+
+func (it *Interp) evalInScopeTree(src string, sc *Scope) (Value, error) {
+	prog, err := Parse(src)
+	if err != nil {
 		return Undefined(), it.throwNamed("SyntaxError", err.Error())
 	}
 	hoist(prog.Body, sc, it)

@@ -268,6 +268,10 @@ type Object struct {
 
 	// Fn is set for user-defined functions.
 	Fn *FuncLit
+	// Proto is the compiled body when the function was created by the
+	// bytecode VM; callFunction dispatches to the VM when set, so a
+	// closure always runs on the engine that created it.
+	Proto *FnProto
 	// Env is the closure environment for user functions.
 	Env *Scope
 	// Host is set for native functions.

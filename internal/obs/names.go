@@ -52,6 +52,16 @@ const (
 	MetricCacheExpired   = "pdfshield_cache_expired_total"
 	MetricCacheEntries   = "pdfshield_cache_entries"
 	MetricCacheBytes     = "pdfshield_cache_bytes"
+
+	// Bytecode JS engine series (internal/js). The histogram observes each
+	// compile performed on a unit-cache miss; the counters/gauges are
+	// callback-backed from js.UnitCache.Stats (see pipeline's System wiring).
+	MetricJSCompileSeconds = "pdfshield_js_compile_seconds"
+	MetricJSUnitsHits      = "pdfshield_js_units_hits_total"
+	MetricJSUnitsMisses    = "pdfshield_js_units_misses_total"
+	MetricJSUnitsEvictions = "pdfshield_js_units_evictions_total"
+	MetricJSUnitsEntries   = "pdfshield_js_units_entries"
+	MetricJSUnitsBytes     = "pdfshield_js_units_bytes"
 )
 
 // Pipeline phase names, in execution order (also the span names of a

@@ -18,6 +18,7 @@ import (
 	"pdfshield/internal/hook"
 	"pdfshield/internal/instrument"
 	"pdfshield/internal/journal"
+	"pdfshield/internal/js"
 	"pdfshield/internal/obs"
 	"pdfshield/internal/reader"
 	"pdfshield/internal/winos"
@@ -57,6 +58,15 @@ type Options struct {
 	// a fresh detector via journal.Replay, reproducing identical verdicts
 	// offline. Sink errors are fail-open and never affect processing.
 	Journal *journal.Writer
+	// JSUnits overrides the compiled-unit cache shared by this System's
+	// instrumenter and reader sessions (nil = the process-wide
+	// js.DefaultUnits). Pass a private cache to isolate hit/miss counters
+	// (tests, benchmark passes).
+	JSUnits *js.UnitCache
+	// TreeWalkJS runs reader sessions on the interpreter's recursive
+	// tree-walking engine instead of the bytecode VM (engine A/B
+	// benchmarking; verdicts are identical on both engines).
+	TreeWalkJS bool
 }
 
 // System is a running instance of the whole protection stack.
@@ -70,8 +80,9 @@ type System struct {
 	// Stats() snapshot.
 	Obs *obs.Registry
 
-	opts  Options
-	cache *cache.Cache
+	opts    Options
+	cache   *cache.Cache
+	jsUnits *js.UnitCache
 
 	// keyLocks serializes reader opens per instrumentation key. Without a
 	// cache the registry's duplicate rule makes each key's open unique;
@@ -128,10 +139,15 @@ func NewSystem(opts Options) (*System, error) {
 	if err := det.Start(); err != nil {
 		return nil, err
 	}
+	jsUnits := opts.JSUnits
+	if jsUnits == nil {
+		jsUnits = js.DefaultUnits
+	}
 	ins := instrument.New(registry, instrument.Options{
 		Endpoint: det.SOAPURL(),
 		Seed:     opts.Seed,
 		Obs:      obsReg,
+		Units:    jsUnits,
 	})
 	sys := &System{
 		Registry:     registry,
@@ -140,13 +156,35 @@ func NewSystem(opts Options) (*System, error) {
 		OS:           osState,
 		Obs:          obsReg,
 		opts:         opts,
+		jsUnits:      jsUnits,
 		keyLocks:     make(map[string]*keyLock),
 	}
 	if opts.Cache != nil {
 		sys.cache = cache.New(*opts.Cache)
 		sys.cache.RegisterMetrics(obsReg)
 	}
+	registerJSUnitMetrics(obsReg, jsUnits)
 	return sys, nil
+}
+
+// registerJSUnitMetrics exposes the compiled-unit cache through the obs
+// registry: callback-backed counters/gauges from UnitCache.Stats plus a
+// compile-latency histogram fed by the cache's miss observer. When several
+// Systems share js.DefaultUnits the counters aggregate across them (like
+// every shared-registry series); the observer is per-cache, so the last
+// System wired to a shared cache hosts its compile histogram.
+func registerJSUnitMetrics(reg *obs.Registry, units *js.UnitCache) {
+	stat := func(pick func(js.UnitCacheStats) float64) func() float64 {
+		return func() float64 { return pick(units.Stats()) }
+	}
+	reg.CounterFunc(obs.MetricJSUnitsHits, stat(func(s js.UnitCacheStats) float64 { return float64(s.Hits) }))
+	reg.CounterFunc(obs.MetricJSUnitsMisses, stat(func(s js.UnitCacheStats) float64 { return float64(s.Misses) }))
+	reg.CounterFunc(obs.MetricJSUnitsEvictions, stat(func(s js.UnitCacheStats) float64 { return float64(s.Evictions) }))
+	reg.GaugeFunc(obs.MetricJSUnitsEntries, stat(func(s js.UnitCacheStats) float64 { return float64(s.Entries) }))
+	reg.GaugeFunc(obs.MetricJSUnitsBytes, stat(func(s js.UnitCacheStats) float64 { return float64(s.Bytes) }))
+	units.SetObserver(func(d time.Duration, _ int64) {
+		reg.Observe(obs.MetricJSCompileSeconds, d)
+	})
 }
 
 // CacheStats snapshots the front-end cache counters; ok is false when the
@@ -271,6 +309,8 @@ func (s *System) NewSession() (*Session, error) {
 		Sink:          sink,
 		OS:            s.OS,
 		DetectorSOAP:  s.Detector.SOAPURL(),
+		Units:         s.jsUnits,
+		TreeWalkJS:    s.opts.TreeWalkJS,
 	})
 	s.Obs.GaugeAdd(obs.MetricSessionsActive, 1)
 	return &Session{Proc: proc, sink: sink, obs: s.Obs}, nil

@@ -4,6 +4,7 @@ import (
 	"strings"
 
 	"pdfshield/internal/cache"
+	"pdfshield/internal/js"
 	"pdfshield/internal/obs"
 )
 
@@ -23,6 +24,10 @@ type Stats struct {
 	// Cache snapshots the front-end cache (nil when the System runs
 	// without one).
 	Cache *cache.Stats `json:"cache,omitempty"`
+	// JSUnits snapshots the compiled-unit cache backing this System's
+	// script interpreters (the process-wide js.DefaultUnits unless
+	// Options.JSUnits isolated one).
+	JSUnits js.UnitCacheStats `json:"js_units"`
 	// Quarantined is how many artifacts runtime confinement has isolated.
 	Quarantined int `json:"quarantined"`
 	// BatchQueueDepth and BatchWorkers reflect in-flight ProcessBatch
@@ -128,5 +133,6 @@ func (s *System) Stats() Stats {
 	if cs, ok := s.CacheStats(); ok {
 		st.Cache = &cs
 	}
+	st.JSUnits = s.jsUnits.Stats()
 	return st
 }

@@ -17,6 +17,8 @@ func (p *Process) newDocInterp(od *OpenDoc) *js.Interp {
 	it := js.New()
 	it.StepLimit = p.cfg.StepLimit
 	it.MaxHeap = p.cfg.MaxHeap
+	it.Units = p.cfg.Units
+	it.TreeWalk = p.cfg.TreeWalkJS
 	it.OnAlloc = func(delta int64) {
 		p.jsHeapBytes += delta
 		od.heapBytes += delta
