@@ -4,7 +4,7 @@ GO ?= go
 # internal/*/testdata/fuzz/ replay on every plain `make test` regardless.
 FUZZTIME ?= 30s
 
-.PHONY: build vet test race bench bench-json bench-compare fuzz journal-check
+.PHONY: build vet test race bench bench-json bench-compare fuzz journal-check serve-smoke
 
 build:
 	$(GO) build ./...
@@ -12,8 +12,14 @@ build:
 vet:
 	$(GO) vet ./...
 
-test: vet journal-check
+test: vet journal-check serve-smoke
 	$(GO) test ./...
+
+# End-to-end daemon smoke: build the pdfshield-serve binary, start it on
+# an ephemeral port, POST a corpus document, assert the verdict JSON, then
+# SIGTERM and require a clean drain with the journal flushed.
+serve-smoke:
+	$(GO) test -run TestServeSmoke -count=1 ./cmd/pdfshield-serve/
 
 # The replay-determinism gate: a live batch recorded to the forensic
 # journal must replay through a fresh detector with byte-identical
@@ -31,8 +37,11 @@ journal-check:
 # metrics registry, the journal writer all workers append to, and the
 # script engine — compiled-unit cache loads and VM dispatch of shared
 # units, exercised under concurrent batch load by the pipeline tests.
+# The serve package rides along: admission queue saturation, tenant
+# limiter contention, drain-vs-in-flight races, and the hook server's
+# accept-retry loop.
 race:
-	$(GO) test -race ./internal/pipeline/... ./internal/detect/... ./internal/cache/... ./internal/obs/... ./internal/journal/... ./internal/js/...
+	$(GO) test -race ./internal/pipeline/... ./internal/detect/... ./internal/cache/... ./internal/obs/... ./internal/journal/... ./internal/js/... ./internal/serve/... ./internal/hook/...
 
 # Batch-engine benchmarks: docs/sec at 1/4/8 workers plus the pooled
 # parse/serialize round trip.

@@ -20,6 +20,7 @@ import (
 	"pdfshield/internal/corpus"
 	"pdfshield/internal/obs"
 	"pdfshield/internal/pipeline"
+	"pdfshield/internal/serve"
 )
 
 // benchRecord is the committed trajectory format (BENCH_pr*.json).
@@ -65,6 +66,13 @@ type benchRecord struct {
 	// the parse/execute split — what bytecode compilation changes — is
 	// explicit (schema/2).
 	JSEngine []benchJSWorkload `json:"js_engine"`
+
+	// Serve is the ingestion-daemon capacity section of a schema/3 record
+	// (written by `pdfshield-serve -load -json`): docs/sec through the
+	// admission queue, end-to-end latency percentiles, rejection rate.
+	// Nil in batch-engine records; serve-only records in turn carry no
+	// batch or open-phase sections.
+	Serve *serve.LoadStats `json:"serve,omitempty"`
 }
 
 type benchCorpus struct {

@@ -21,6 +21,7 @@ import (
 	"pdfshield/internal/obs"
 	"pdfshield/internal/pipeline"
 	"pdfshield/internal/reader"
+	"pdfshield/internal/serve"
 )
 
 // Open-phase workload size: enough distinct documents that the unit cache
@@ -318,19 +319,45 @@ func runCompare(oldPath, newPath string) error {
 		}
 		return fmt.Sprintf("%+.1f%%", (newV/oldV-1)*100)
 	}
-	fmt.Printf("  serial uncached:   %8.2f -> %8.2f docs/sec (%s)\n",
-		oldRec.SerialUncached.DocsPerSec, newRec.SerialUncached.DocsPerSec,
-		ratio(oldRec.SerialUncached.DocsPerSec, newRec.SerialUncached.DocsPerSec))
-	fmt.Printf("  parallel uncached: %8.2f -> %8.2f docs/sec (%s)\n",
-		oldRec.ParallelUncached.DocsPerSec, newRec.ParallelUncached.DocsPerSec,
-		ratio(oldRec.ParallelUncached.DocsPerSec, newRec.ParallelUncached.DocsPerSec))
-	fmt.Printf("  parallel cached:   %8.2f -> %8.2f docs/sec (%s)\n",
-		oldRec.ParallelCached.DocsPerSec, newRec.ParallelCached.DocsPerSec,
-		ratio(oldRec.ParallelCached.DocsPerSec, newRec.ParallelCached.DocsPerSec))
+	switch {
+	case oldRec.SerialUncached.Docs > 0 && newRec.SerialUncached.Docs == 0:
+		fmt.Println("  batch sections: only the OLD record has them (serve-only NEW); skipped")
+	case oldRec.SerialUncached.Docs == 0 && newRec.SerialUncached.Docs > 0:
+		fmt.Println("  batch sections: only the NEW record has them (serve-only OLD); skipped")
+	case oldRec.SerialUncached.Docs > 0 && newRec.SerialUncached.Docs > 0:
+		fmt.Printf("  serial uncached:   %8.2f -> %8.2f docs/sec (%s)\n",
+			oldRec.SerialUncached.DocsPerSec, newRec.SerialUncached.DocsPerSec,
+			ratio(oldRec.SerialUncached.DocsPerSec, newRec.SerialUncached.DocsPerSec))
+		fmt.Printf("  parallel uncached: %8.2f -> %8.2f docs/sec (%s)\n",
+			oldRec.ParallelUncached.DocsPerSec, newRec.ParallelUncached.DocsPerSec,
+			ratio(oldRec.ParallelUncached.DocsPerSec, newRec.ParallelUncached.DocsPerSec))
+		fmt.Printf("  parallel cached:   %8.2f -> %8.2f docs/sec (%s)\n",
+			oldRec.ParallelCached.DocsPerSec, newRec.ParallelCached.DocsPerSec,
+			ratio(oldRec.ParallelCached.DocsPerSec, newRec.ParallelCached.DocsPerSec))
+	}
+	if oldRec.Serve != nil || newRec.Serve != nil {
+		var o, n serve.LoadStats
+		if oldRec.Serve != nil {
+			o = *oldRec.Serve
+		}
+		if newRec.Serve != nil {
+			n = *newRec.Serve
+		}
+		fmt.Printf("  serve throughput:  %8.2f -> %8.2f docs/sec (%s)\n", o.DocsPerSec, n.DocsPerSec, ratio(o.DocsPerSec, n.DocsPerSec))
+		fmt.Printf("  serve p50:         %8.2f -> %8.2f ms (%s)\n", o.P50Ms, n.P50Ms, ratio(o.P50Ms, n.P50Ms))
+		fmt.Printf("  serve p99:         %8.2f -> %8.2f ms (%s)\n", o.P99Ms, n.P99Ms, ratio(o.P99Ms, n.P99Ms))
+		fmt.Printf("  serve rejection:   %7.1f%% -> %7.1f%%\n", o.RejectionRate*100, n.RejectionRate*100)
+	}
 
 	oldP50 := oldRec.Open.BytecodeWarm.P50Us
 	newP50 := newRec.Open.BytecodeWarm.P50Us
 	switch {
+	case newP50 <= 0 && newRec.Serve != nil:
+		// A serve-only record (pdfshield-serve -load) measures the daemon,
+		// not the open phase; the open gate does not apply.
+		fmt.Printf("  open p50: %s is a serve capacity record; open-phase gate skipped\n", newPath)
+		fmt.Println("  OK: serve record compared (no open-phase gate)")
+		return nil
 	case newP50 <= 0:
 		return fmt.Errorf("%s has no open-phase data; cannot gate", newPath)
 	case oldP50 <= 0:

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"pdfshield/internal/corpus"
+	"pdfshield/internal/journal"
+)
+
+var addrRE = regexp.MustCompile(`addr=([0-9.]+:[0-9]+)`)
+
+// TestServeSmoke is the end-to-end daemon smoke test (`make serve-smoke`):
+// build the real binary, start it on an ephemeral port with a journal,
+// POST a corpus document, assert the verdict JSON, then SIGTERM and
+// require a clean drain — exit 0, "drained" logged, and the journaled
+// doc-open flushed to disk.
+func TestServeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the daemon binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "pdfshield-serve")
+	build := exec.Command("go", "build", "-o", bin, "pdfshield/cmd/pdfshield-serve")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building daemon: %v\n%s", err, out)
+	}
+
+	jpath := filepath.Join(dir, "events.jsonl")
+	cmd := exec.Command(bin,
+		"-addr", "127.0.0.1:0",
+		"-workers", "2",
+		"-seed", "4242",
+		"-journal", jpath,
+		"-drain-timeout", "20s",
+	)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting daemon: %v", err)
+	}
+	defer func() { _ = cmd.Process.Kill() }()
+
+	// Collect stderr while watching for the bound address in the
+	// "listening" log line.
+	var (
+		mu     sync.Mutex
+		logbuf bytes.Buffer
+	)
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			mu.Lock()
+			logbuf.WriteString(line + "\n")
+			mu.Unlock()
+			if m := addrRE.FindStringSubmatch(line); m != nil {
+				select {
+				case addrCh <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon never logged its listen address; log so far:\n%s", readLog(&mu, &logbuf))
+	}
+
+	// Scan a benign corpus document.
+	g := corpus.NewGenerator(4242)
+	doc := g.BenignFormJS()
+	req, err := http.NewRequest(http.MethodPost, "http://"+addr+"/scan", bytes.NewReader(doc.Raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Doc-Id", "smoke-doc")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST /scan: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scan status %d, body %s", resp.StatusCode, body)
+	}
+	var verdict struct {
+		DocID     string `json:"doc_id"`
+		Malicious bool   `json:"malicious"`
+		Session   string `json:"journal_session"`
+	}
+	if err := json.Unmarshal(body, &verdict); err != nil {
+		t.Fatalf("verdict JSON: %v (%s)", err, body)
+	}
+	if verdict.DocID != "smoke-doc" || verdict.Malicious {
+		t.Fatalf("verdict %s, want benign smoke-doc", body)
+	}
+	if verdict.Session == "" {
+		t.Error("verdict missing journal_session correlation key")
+	}
+
+	hr, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	_, _ = io.Copy(io.Discard, hr.Body)
+	_ = hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		t.Errorf("healthz status %d, want 200", hr.StatusCode)
+	}
+
+	// Clean drain on SIGTERM.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited uncleanly after SIGTERM: %v\n%s", err, readLog(&mu, &logbuf))
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon did not drain within 30s\n%s", readLog(&mu, &logbuf))
+	}
+	if log := readLog(&mu, &logbuf); !bytes.Contains([]byte(log), []byte("drained")) {
+		t.Errorf("drain completion never logged:\n%s", log)
+	}
+
+	// The journal must hold the flushed doc-open/verdict pair.
+	events, err := journal.ReadFile(jpath)
+	if err != nil {
+		t.Fatalf("reading journal: %v", err)
+	}
+	var open, verd bool
+	for _, e := range events {
+		if e.DocID != "smoke-doc" {
+			continue
+		}
+		switch e.T {
+		case journal.TypeDocOpen:
+			open = true
+		case journal.TypeVerdict:
+			verd = true
+		}
+	}
+	if !open || !verd {
+		t.Errorf("journal missing smoke-doc events (open=%v verdict=%v, %d total)", open, verd, len(events))
+	}
+	_ = os.Remove(bin)
+}
+
+func readLog(mu *sync.Mutex, buf *bytes.Buffer) string {
+	mu.Lock()
+	defer mu.Unlock()
+	return buf.String()
+}

@@ -101,6 +101,9 @@ type entry struct {
 	size    int64
 	expires time.Time // zero = never
 	elem    *list.Element
+	// expElem is the entry's slot in the shard's expiry FIFO (nil when the
+	// cache has no TTL).
+	expElem *list.Element
 }
 
 // flight is an in-progress front-end pass other submitters can join.
@@ -114,6 +117,10 @@ type shard struct {
 	mu      sync.Mutex
 	entries map[string]*entry
 	lru     *list.List // front = most recently used
+	// expiry orders entries by store time (front = oldest). The TTL is a
+	// per-cache constant, so store order IS expiry order, and sweeping is
+	// an exact pop-from-front loop instead of a full scan.
+	expiry  *list.List
 	flights map[string]*flight
 	bytes   int64
 
@@ -164,6 +171,7 @@ func New(cfg Config) *Cache {
 		c.shards[i] = &shard{
 			entries: make(map[string]*entry),
 			lru:     list.New(),
+			expiry:  list.New(),
 			flights: make(map[string]*flight),
 		}
 	}
@@ -326,11 +334,16 @@ func (c *Cache) RegisterMetrics(reg *obs.Registry) {
 	reg.GaugeFunc(obs.MetricCacheBytes, stat(func(s Stats) float64 { return float64(s.Bytes) }))
 }
 
-// Stats sums a snapshot over all shards.
+// Stats sums a snapshot over all shards. Each shard is swept first, so
+// Entries/Bytes report live residency even when no lookups have touched
+// a shard since its entries' TTL lapsed (metrics scrapes on an idle
+// daemon see the true footprint, and the sweep itself frees it).
 func (c *Cache) Stats() Stats {
 	var s Stats
+	now := c.now()
 	for _, sh := range c.shards {
 		sh.mu.Lock()
+		sh.sweepLocked(now)
 		s.Hits += sh.hits
 		s.Misses += sh.misses
 		s.Shared += sh.shared
@@ -354,25 +367,56 @@ func (c *Cache) Len() int {
 	return n
 }
 
-// lookupLocked finds a fresh entry, expiring it lazily if its TTL lapsed,
-// and promotes hits to the LRU front.
+// lookupLocked finds a fresh entry and promotes hits to the LRU front.
+// The shard-wide sweep runs first, so every lookup — whatever key it asks
+// for — releases the bytes and slots of entries whose TTL has lapsed;
+// before the sweep existed an expired entry kept charging MaxBytes /
+// MaxEntries until its own key happened to be looked up again, pinning
+// dead bytes in a long-idle daemon and over-reporting Stats.
 func (sh *shard) lookupLocked(key string, now time.Time) (*entry, bool) {
+	sh.sweepLocked(now)
 	e, ok := sh.entries[key]
 	if !ok {
 		return nil, false
 	}
+	return e, sh.freshLocked(e, now)
+}
+
+// freshLocked expires e if its TTL lapsed, else front-promotes it.
+func (sh *shard) freshLocked(e *entry, now time.Time) bool {
 	if !e.expires.IsZero() && now.After(e.expires) {
 		sh.removeLocked(e)
 		sh.expired++
-		return nil, false
+		return false
 	}
 	sh.lru.MoveToFront(e.elem)
-	return e, true
+	return true
+}
+
+// sweepLocked drops every entry whose TTL has lapsed. Entries sit in the
+// expiry FIFO in store order and carry a constant TTL, so the loop stops
+// at the first fresh entry: the cost is O(expired), not O(entries).
+func (sh *shard) sweepLocked(now time.Time) {
+	for {
+		front := sh.expiry.Front()
+		if front == nil {
+			return
+		}
+		e := front.Value.(*entry)
+		if e.expires.IsZero() || !now.After(e.expires) {
+			return
+		}
+		sh.removeLocked(e)
+		sh.expired++
+	}
 }
 
 // storeLocked inserts an outcome and evicts from the LRU tail until the
 // shard is back under both capacity bounds.
 func (sh *shard) storeLocked(c *Cache, key string, res *instrument.Result, err error) {
+	// Release lapsed entries before charging the new one, so eviction
+	// pressure falls on dead bytes first, not on live LRU victims.
+	sh.sweepLocked(c.now())
 	if old, ok := sh.entries[key]; ok {
 		// A racing Invalidate+Do can re-store; replace, don't double-count.
 		sh.removeLocked(old)
@@ -385,6 +429,7 @@ func (sh *shard) storeLocked(c *Cache, key string, res *instrument.Result, err e
 	}
 	if c.ttl > 0 {
 		e.expires = c.now().Add(c.ttl)
+		e.expElem = sh.expiry.PushBack(e)
 	}
 	e.elem = sh.lru.PushFront(e)
 	sh.entries[key] = e
@@ -407,6 +452,9 @@ func (sh *shard) storeLocked(c *Cache, key string, res *instrument.Result, err e
 func (sh *shard) removeLocked(e *entry) {
 	delete(sh.entries, e.key)
 	sh.lru.Remove(e.elem)
+	if e.expElem != nil {
+		sh.expiry.Remove(e.expElem)
+	}
 	sh.bytes -= e.size
 }
 

@@ -164,6 +164,7 @@ func New(cfg Config) (*Detector, error) {
 	}
 	d.soap = soapsrv.NewServer(d.handleNotify)
 	d.hooks = hook.NewServer(d.handleEvent)
+	d.hooks.Obs = cfg.Obs
 	return d, nil
 }
 

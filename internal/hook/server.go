@@ -7,14 +7,29 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
+
+	"pdfshield/internal/obs"
 )
 
 // Handler decides one event. It runs on the detector side.
 type Handler func(ev Event) Decision
 
+// Accept-retry backoff bounds: a transient Accept failure (EMFILE under
+// load, ECONNABORTED) is retried after acceptBackoffMin, doubling up to
+// acceptBackoffMax, instead of silently abandoning the listener.
+const (
+	acceptBackoffMin = time.Millisecond
+	acceptBackoffMax = time.Second
+)
+
 // Server is the detector-side TCP endpoint receiving hook events.
 type Server struct {
 	handler Handler
+
+	// Obs, when set before Start, counts accept-loop errors
+	// (obs.MetricHookAcceptErrors). Nil-safe.
+	Obs *obs.Registry
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -68,12 +83,34 @@ func (s *Server) Close() error {
 	return err
 }
 
+// acceptLoop accepts until the listener is closed. A transient Accept
+// error — file-descriptor exhaustion under load, an aborted handshake —
+// must not end the loop: the listener stays bound, so giving up would
+// leave every future reader process unable to deliver hook events while
+// the detector looks healthy. Transient failures are counted and retried
+// with capped exponential backoff; only a closed listener (or Close) exits.
 func (s *Server) acceptLoop(ln net.Listener) {
+	backoff := acceptBackoffMin
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
-			return // listener closed
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return
+			}
+			s.Obs.Inc(obs.MetricHookAcceptErrors)
+			time.Sleep(backoff)
+			if backoff *= 2; backoff > acceptBackoffMax {
+				backoff = acceptBackoffMax
+			}
+			continue
 		}
+		backoff = acceptBackoffMin
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()

@@ -346,6 +346,16 @@ func (w *Writer) Close() error {
 	return flushErr
 }
 
+// Session returns the recording's session name ("" on a nil writer) —
+// the correlation id callers hand out so an external consumer can match
+// a verdict back to this journal's events.
+func (w *Writer) Session() string {
+	if w == nil {
+		return ""
+	}
+	return w.opts.Session
+}
+
 // Err returns the first write error encountered ("" contract of fail-open:
 // detection never saw it, but forensics should know the record is partial).
 func (w *Writer) Err() error {

@@ -38,6 +38,22 @@ const (
 	MetricFakeMessages    = "pdfshield_fake_messages_total"
 	MetricFeatureTriggers = "pdfshield_feature_triggers_total"
 
+	// MetricHookAcceptErrors counts transient Accept failures on the
+	// detector's hook listener (retried with backoff, never fatal).
+	MetricHookAcceptErrors = "pdfshield_hook_accept_errors_total"
+
+	// Ingestion daemon series (internal/serve). Admission is the bounded
+	// queue in front of the scan workers; rejections carry a reason label
+	// ("queue" = backpressure 429, "ratelimit" = tenant bucket empty,
+	// "draining" = shutdown in progress). Proxied counts documents routed
+	// to their consistent-hash owner peer.
+	MetricServeQueueDepth = "pdfshield_serve_queue_depth"
+	MetricServeInFlight   = "pdfshield_serve_inflight"
+	MetricServeAccepted   = "pdfshield_serve_accepted_total"
+	MetricServeRejected   = "pdfshield_serve_rejected_total"
+	MetricServeProxied    = "pdfshield_serve_proxied_total"
+	MetricServeSeconds    = "pdfshield_serve_request_seconds"
+
 	// Forensic event journal health (internal/journal). The fail-open
 	// contract routes sink errors here instead of failing detection.
 	MetricJournalEvents = "pdfshield_journal_events_total"

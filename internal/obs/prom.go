@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"io"
@@ -9,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // WritePrometheus renders the registry in the Prometheus text exposition
@@ -88,6 +90,19 @@ var (
 	publishedExpvar = make(map[string]bool)
 )
 
+// RegisterHTTP mounts the registry's observability endpoints on mux —
+// /metrics (Prometheus text format) and /debug/vars (expvar JSON, with
+// the registry snapshot published as "pdfshield") — and registers the Go
+// runtime health series. ServeMetrics uses it for the stand-alone
+// endpoint; servers with their own mux (pdfshield-serve) mount the same
+// pair next to their application routes.
+func (r *Registry) RegisterHTTP(mux *http.ServeMux) {
+	r.RegisterRuntimeMetrics()
+	r.PublishExpvar("pdfshield")
+	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+}
+
 // PublishExpvar exposes the registry's live Snapshot under the given
 // expvar name (visible on any /debug/vars endpoint). Repeated calls with
 // the same name are no-ops, so multiple Systems sharing a registry can
@@ -102,6 +117,59 @@ func (r *Registry) PublishExpvar(name string) {
 	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
 }
 
+// ServerTimeouts bounds the connection lifecycle of an HTTP listener.
+// Every network-facing server in the system (the metrics endpoint, the
+// ingestion daemon) is built through NewHTTPServer so a slow or stalled
+// client can never hold a connection open indefinitely.
+type ServerTimeouts struct {
+	// ReadHeader bounds how long a client may take to send the request
+	// headers — the Slowloris window.
+	ReadHeader time.Duration
+	// Read bounds the whole request read, body included.
+	Read time.Duration
+	// Write bounds the response write.
+	Write time.Duration
+	// Idle bounds how long a keep-alive connection may sit between
+	// requests.
+	Idle time.Duration
+}
+
+// DefaultServerTimeouts are the hardened defaults: tight on headers,
+// generous enough on bodies for a multi-megabyte document upload.
+func DefaultServerTimeouts() ServerTimeouts {
+	return ServerTimeouts{
+		ReadHeader: 10 * time.Second,
+		Read:       time.Minute,
+		Write:      time.Minute,
+		Idle:       2 * time.Minute,
+	}
+}
+
+// NewHTTPServer builds an http.Server with the connection-lifecycle
+// timeouts applied (zero fields fall back to DefaultServerTimeouts).
+func NewHTTPServer(handler http.Handler, t ServerTimeouts) *http.Server {
+	def := DefaultServerTimeouts()
+	if t.ReadHeader == 0 {
+		t.ReadHeader = def.ReadHeader
+	}
+	if t.Read == 0 {
+		t.Read = def.Read
+	}
+	if t.Write == 0 {
+		t.Write = def.Write
+	}
+	if t.Idle == 0 {
+		t.Idle = def.Idle
+	}
+	return &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: t.ReadHeader,
+		ReadTimeout:       t.Read,
+		WriteTimeout:      t.Write,
+		IdleTimeout:       t.Idle,
+	}
+}
+
 // MetricsServer is a running metrics endpoint (see ServeMetrics).
 type MetricsServer struct {
 	// Addr is the bound listen address (useful with ":0").
@@ -110,11 +178,30 @@ type MetricsServer struct {
 	done chan struct{}
 }
 
-// Close shuts the endpoint down.
-func (m *MetricsServer) Close() error {
-	err := m.srv.Close()
+// closeGrace bounds how long Close waits for in-flight scrapes before
+// dropping their connections.
+const closeGrace = 5 * time.Second
+
+// Shutdown stops the endpoint gracefully: the listener closes at once,
+// in-flight scrapes finish, and only when ctx ends are the survivors'
+// connections dropped.
+func (m *MetricsServer) Shutdown(ctx context.Context) error {
+	err := m.srv.Shutdown(ctx)
+	if err != nil {
+		// Deadline hit with requests still in flight: drop them.
+		_ = m.srv.Close()
+	}
 	<-m.done
 	return err
+}
+
+// Close shuts the endpoint down, letting in-flight scrapes finish (a
+// scrape racing a shutdown used to get its connection cut mid-response).
+// Handlers still running after a short grace period are dropped.
+func (m *MetricsServer) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), closeGrace)
+	defer cancel()
+	return m.Shutdown(ctx)
 }
 
 // ServeMetrics starts an HTTP listener exposing the registry:
@@ -128,16 +215,13 @@ func (m *MetricsServer) Close() error {
 // scrape answers "is the scanner healthy" without pprof. The server runs
 // until Close. This is what the CLIs' -metrics-addr flag mounts.
 func (r *Registry) ServeMetrics(addr string) (*MetricsServer, error) {
-	r.RegisterRuntimeMetrics()
-	r.PublishExpvar("pdfshield")
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: metrics listener: %w", err)
 	}
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", r.Handler())
-	mux.Handle("/debug/vars", expvar.Handler())
-	srv := &http.Server{Handler: mux}
+	r.RegisterHTTP(mux)
+	srv := NewHTTPServer(mux, ServerTimeouts{})
 	m := &MetricsServer{Addr: ln.Addr().String(), srv: srv, done: make(chan struct{})}
 	go func() {
 		defer close(m.done)

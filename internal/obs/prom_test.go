@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestNewHTTPServerAppliesTimeouts: zero fields take the hardened
+// defaults, explicit fields are preserved.
+func TestNewHTTPServerAppliesTimeouts(t *testing.T) {
+	def := DefaultServerTimeouts()
+	srv := NewHTTPServer(http.NewServeMux(), ServerTimeouts{})
+	if srv.ReadHeaderTimeout != def.ReadHeader || srv.ReadTimeout != def.Read ||
+		srv.WriteTimeout != def.Write || srv.IdleTimeout != def.Idle {
+		t.Errorf("zero-config server timeouts (%v %v %v %v) != defaults (%v %v %v %v)",
+			srv.ReadHeaderTimeout, srv.ReadTimeout, srv.WriteTimeout, srv.IdleTimeout,
+			def.ReadHeader, def.Read, def.Write, def.Idle)
+	}
+	custom := ServerTimeouts{ReadHeader: time.Second, Read: 2 * time.Second, Write: 3 * time.Second, Idle: 4 * time.Second}
+	srv = NewHTTPServer(http.NewServeMux(), custom)
+	if srv.ReadHeaderTimeout != custom.ReadHeader || srv.ReadTimeout != custom.Read ||
+		srv.WriteTimeout != custom.Write || srv.IdleTimeout != custom.Idle {
+		t.Error("explicit timeouts not preserved")
+	}
+	if def.ReadHeader <= 0 || def.Read <= 0 || def.Write <= 0 || def.Idle <= 0 {
+		t.Errorf("a default timeout is unset: %+v — Slowloris window reopened", def)
+	}
+}
+
+// TestSlowClientConnectionClosed is the Slowloris regression test: the
+// metrics endpoint used to run a bare http.Server with no timeouts, so a
+// client that opened a connection and never sent headers held it forever.
+// A hardened server must cut such a connection once ReadHeaderTimeout
+// lapses.
+func TestSlowClientConnectionClosed(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewHTTPServer(http.NewServeMux(), ServerTimeouts{ReadHeader: 100 * time.Millisecond})
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Send nothing. The server must close the connection — observed as
+	// EOF/reset on read — well before the test deadline.
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("server answered a request that was never sent")
+	} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("connection still open 5s after ReadHeaderTimeout: Slowloris window")
+	}
+}
+
+// TestMetricsServerGracefulClose is the dropped-scrape regression test:
+// Close() used to call http.Server.Close, cutting an in-flight /metrics
+// response mid-body. Close must now let the in-flight scrape finish
+// (verified by blocking the scrape inside a CounterFunc callback while
+// Close runs) and only then return.
+func TestMetricsServerGracefulClose(t *testing.T) {
+	reg := NewRegistry()
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once bool
+	reg.CounterFunc("pdfshield_test_blocking_total", func() float64 {
+		if !once {
+			once = true
+			close(entered)
+			<-release
+		}
+		return 42
+	})
+	m, err := reg.ServeMetrics("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type scrape struct {
+		status int
+		body   string
+		err    error
+	}
+	got := make(chan scrape, 1)
+	go func() {
+		resp, err := http.Get("http://" + m.Addr + "/metrics")
+		if err != nil {
+			got <- scrape{err: err}
+			return
+		}
+		body, err := io.ReadAll(resp.Body)
+		_ = resp.Body.Close()
+		got <- scrape{status: resp.StatusCode, body: string(body), err: err}
+	}()
+	<-entered // the scrape is now in flight, blocked in the render
+
+	closed := make(chan error, 1)
+	go func() { closed <- m.Close() }()
+	select {
+	case err := <-closed:
+		t.Fatalf("Close returned (%v) while a scrape was in flight", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	close(release)
+	if err := <-closed; err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	s := <-got
+	if s.err != nil {
+		t.Fatalf("in-flight scrape cut by Close: %v", s.err)
+	}
+	if s.status != http.StatusOK || !strings.Contains(s.body, "pdfshield_test_blocking_total 42") {
+		t.Errorf("scrape racing Close got status %d, body %q", s.status, s.body)
+	}
+}

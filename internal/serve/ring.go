@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// defaultVnodes is how many virtual points each peer contributes to the
+// ring. 128 keeps the ownership split within a few percent of even for
+// small clusters without making lookup tables large.
+const defaultVnodes = 128
+
+// Ring maps content hashes to their owner peer with consistent hashing:
+// each peer contributes vnode points on a 64-bit circle, and a document
+// hash is owned by the first point clockwise from it. Adding or removing
+// one peer only remaps the keys adjacent to its points (~1/N of the
+// space), so a rolling restart does not flush every front-end cache in
+// the fleet — the whole reason a multi-backend deployment shards its
+// cache by content instead of duplicating it.
+type Ring struct {
+	points []ringPoint
+	peers  []string
+}
+
+type ringPoint struct {
+	hash  uint64
+	owner string
+}
+
+// NewRing builds a ring over the peer list (vnodes <= 0 takes the
+// default). Peer order does not matter; the ring is deterministic in the
+// peer strings, so every node that agrees on the peer set agrees on every
+// key's owner.
+func NewRing(peers []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = defaultVnodes
+	}
+	r := &Ring{peers: append([]string(nil), peers...)}
+	for _, p := range peers {
+		base := hash64(p)
+		for i := 0; i < vnodes; i++ {
+			// Finalizer-mixed points: raw fnv over "peer#i" leaves the
+			// sequential vnode suffix in correlated low bits and the arc
+			// lengths badly skewed; splitmix64's avalanche spreads each
+			// peer's points evenly around the circle.
+			r.points = append(r.points, ringPoint{
+				hash:  mix64(base + uint64(i+1)*0x9e3779b97f4a7c15),
+				owner: p,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Tie-break on owner so identical fnv points order deterministically
+		// regardless of input peer order.
+		return r.points[i].owner < r.points[j].owner
+	})
+	return r
+}
+
+// Peers returns the ring's peer list.
+func (r *Ring) Peers() []string { return r.peers }
+
+// Owner returns the peer owning key (a content-hash hex digest). An empty
+// ring owns nothing and returns "".
+func (r *Ring) Owner(key string) string {
+	if r == nil || len(r.points) == 0 {
+		return ""
+	}
+	h := mix64(hash64(key))
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: first point clockwise from the top of the circle
+	}
+	return r.points[i].owner
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// mix64 is the splitmix64 finalizer: a full-avalanche bijection that
+// decorrelates fnv outputs over near-identical inputs.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

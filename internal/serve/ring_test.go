@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingDeterministicAcrossPeerOrder: every node that agrees on the
+// peer *set* must agree on every key's owner, regardless of the order the
+// peers were listed in — otherwise two nodes would route the same
+// document to different owners and the cache sharding falls apart.
+func TestRingDeterministicAcrossPeerOrder(t *testing.T) {
+	a := NewRing([]string{"n1:1", "n2:2", "n3:3"}, 0)
+	b := NewRing([]string{"n3:3", "n1:1", "n2:2"}, 0)
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("hash-%d", i)
+		if got, want := b.Owner(key), a.Owner(key); got != want {
+			t.Fatalf("key %q: owner %q with shuffled peers, %q with original", key, got, want)
+		}
+	}
+}
+
+// TestRingBalance: with 128 vnodes per peer the ownership split over a
+// large key population should be within a loose band of even.
+func TestRingBalance(t *testing.T) {
+	peers := []string{"n1:1", "n2:2", "n3:3", "n4:4"}
+	r := NewRing(peers, 0)
+	counts := make(map[string]int)
+	const keys = 8000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("hash-%d", i))]++
+	}
+	want := keys / len(peers)
+	for _, p := range peers {
+		if c := counts[p]; c < want/2 || c > want*2 {
+			t.Errorf("peer %s owns %d of %d keys (even share %d): split too skewed", p, c, keys, want)
+		}
+	}
+}
+
+// TestRingStabilityUnderPeerRemoval: removing one peer must only remap
+// the keys that peer owned; every key owned by a surviving peer keeps its
+// owner. This is the property that keeps a rolling restart from flushing
+// every front-end cache in the fleet.
+func TestRingStabilityUnderPeerRemoval(t *testing.T) {
+	full := NewRing([]string{"n1:1", "n2:2", "n3:3"}, 0)
+	reduced := NewRing([]string{"n1:1", "n2:2"}, 0)
+	moved := 0
+	const keys = 2000
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("hash-%d", i)
+		before := full.Owner(key)
+		after := reduced.Owner(key)
+		if before == "n3:3" {
+			continue // orphaned keys must move somewhere
+		}
+		if before != after {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Errorf("%d keys owned by surviving peers changed owner after removing n3", moved)
+	}
+}
+
+// TestRingEmptyAndSingle covers the degenerate rings.
+func TestRingEmptyAndSingle(t *testing.T) {
+	var nilRing *Ring
+	if got := nilRing.Owner("x"); got != "" {
+		t.Errorf("nil ring owner = %q, want empty", got)
+	}
+	if got := NewRing(nil, 0).Owner("x"); got != "" {
+		t.Errorf("empty ring owner = %q, want empty", got)
+	}
+	one := NewRing([]string{"solo:1"}, 0)
+	for i := 0; i < 50; i++ {
+		if got := one.Owner(fmt.Sprintf("h%d", i)); got != "solo:1" {
+			t.Fatalf("single-peer ring routed %q away from the only peer", got)
+		}
+	}
+}

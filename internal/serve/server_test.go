@@ -1,0 +1,537 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"testing"
+	"time"
+
+	"pdfshield/internal/corpus"
+	"pdfshield/internal/instrument"
+	"pdfshield/internal/journal"
+	"pdfshield/internal/obs"
+	"pdfshield/internal/pipeline"
+)
+
+// newTestServer builds a daemon on a private registry (metrics isolation)
+// and tears it down with the test.
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Pipeline.Obs == nil {
+		cfg.Pipeline.Obs = obs.NewRegistry()
+	}
+	if cfg.Pipeline.Seed == 0 {
+		cfg.Pipeline.Seed = 4242
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s
+}
+
+func postScan(t *testing.T, url string, body []byte, hdr map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/scan", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("request: %v", err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST /scan: %v", err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp, data
+}
+
+// TestScanVerdict drives the full pipeline through POST /scan: a benign
+// text document (no Javascript) and a JS-bearing benign document, then the
+// degenerate submissions (empty body, oversized body).
+func TestScanVerdict(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2, MaxDocBytes: 1 << 20})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	g := corpus.NewGenerator(4242)
+	text := g.BenignText(8 << 10)
+	resp, body := postScan(t, ts.URL, text.Raw, map[string]string{HeaderDocID: "doc-text"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("text doc: status %d, body %s", resp.StatusCode, body)
+	}
+	var sr ScanResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatalf("verdict JSON: %v", err)
+	}
+	if sr.DocID != "doc-text" {
+		t.Errorf("doc_id %q, want header value doc-text", sr.DocID)
+	}
+	if want := instrument.ContentHash(text.Raw); sr.ContentHash != want {
+		t.Errorf("content_hash %q != ContentHash %q", sr.ContentHash, want)
+	}
+	if sr.Malicious || !sr.NoJS {
+		t.Errorf("text doc: malicious=%v no_javascript=%v, want benign no-JS", sr.Malicious, sr.NoJS)
+	}
+
+	js := g.BenignFormJS()
+	resp, body = postScan(t, ts.URL, js.Raw, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("js doc: status %d, body %s", resp.StatusCode, body)
+	}
+	sr = ScanResponse{}
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatalf("verdict JSON: %v", err)
+	}
+	if sr.Malicious {
+		t.Errorf("benign form JS flagged malicious: %+v", sr)
+	}
+	if sr.NoJS {
+		t.Error("JS-bearing doc reported no_javascript")
+	}
+	if len(sr.Features) == 0 {
+		t.Error("JS-bearing doc verdict missing the feature vector")
+	}
+	if sr.DocID == "" || sr.ContentHash == "" {
+		t.Error("generated doc_id/content_hash missing")
+	}
+
+	// Degenerate submissions.
+	resp, _ = postScan(t, ts.URL, nil, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty body: status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = postScan(t, ts.URL, make([]byte, 2<<20), nil)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: status %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestMaliciousVerdict: a malicious sample must come back flagged with
+// its alert fields populated.
+func TestMaliciousVerdict(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	g := corpus.NewGenerator(4242)
+	mal := g.Malicious()
+	resp, body := postScan(t, ts.URL, mal.Raw, map[string]string{HeaderDocID: mal.ID})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("malicious doc: status %d, body %s", resp.StatusCode, body)
+	}
+	var sr ScanResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatalf("verdict JSON: %v", err)
+	}
+	if !sr.Malicious {
+		t.Fatalf("malicious sample %s not flagged: %+v", mal.ID, sr)
+	}
+	if sr.AlertReason == "" || sr.Malscore == 0 {
+		t.Errorf("alert fields missing: reason=%q malscore=%d", sr.AlertReason, sr.Malscore)
+	}
+}
+
+// TestQueueSaturation: with one blocked worker and a depth-1 queue, the
+// third concurrent submission must be rejected 429 with a Retry-After
+// hint, and the admitted two must still complete once the worker unblocks.
+func TestQueueSaturation(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := newTestServer(t, Config{
+		Pipeline:   pipeline.Options{Obs: reg, Seed: 4242},
+		Workers:    1,
+		QueueDepth: 1,
+	})
+	entered := make(chan struct{}, 4)
+	release := make(chan struct{})
+	s.process = func(ctx context.Context, w *pipeline.Worker, doc pipeline.BatchDoc) (*pipeline.Verdict, error) {
+		entered <- struct{}{}
+		<-release
+		return &pipeline.Verdict{DocID: doc.ID}, nil
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	doc := []byte("%PDF-1.5 saturation probe")
+	results := make(chan int, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			resp, err := http.Post(ts.URL+"/scan", "application/pdf", bytes.NewReader(doc))
+			if err != nil {
+				results <- -1
+				return
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			_ = resp.Body.Close()
+			results <- resp.StatusCode
+		}()
+	}
+	// Wait until the worker is mid-document, then until the queue holds
+	// the second admitted job.
+	<-entered
+	deadline := time.Now().Add(5 * time.Second)
+	for len(s.queue) != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("second submission never reached the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, body := postScan(t, ts.URL, doc, nil)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated queue: status %d, want 429 (body %s)", resp.StatusCode, body)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Errorf("Retry-After %q, want whole seconds >= 1", resp.Header.Get("Retry-After"))
+	}
+	var er errorResponse
+	if err := json.Unmarshal(body, &er); err != nil || er.Error == "" {
+		t.Errorf("429 body %s: want JSON error", body)
+	}
+	if er.RetryAfterSec != ra {
+		t.Errorf("retry_after_sec %d != header %d", er.RetryAfterSec, ra)
+	}
+
+	close(release)
+	for i := 0; i < 2; i++ {
+		if code := <-results; code != http.StatusOK {
+			t.Errorf("admitted submission %d finished with status %d, want 200", i, code)
+		}
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters[obs.Series(obs.MetricServeRejected, "reason", "queue")]; got != 1 {
+		t.Errorf("queue rejection counter = %d, want 1", got)
+	}
+	if got := snap.Counters[obs.MetricServeAccepted]; got != 2 {
+		t.Errorf("accepted counter = %d, want 2", got)
+	}
+}
+
+// TestTenantRateLimit: one tenant over its bucket gets 429 ratelimit with
+// a retry hint; a different tenant is admitted untouched.
+func TestTenantRateLimit(t *testing.T) {
+	clk := newFakeClock()
+	reg := obs.NewRegistry()
+	s := newTestServer(t, Config{
+		Pipeline:    pipeline.Options{Obs: reg, Seed: 4242},
+		Workers:     1,
+		TenantRate:  1,
+		TenantBurst: 1,
+		Now:         clk.now,
+	})
+	s.process = func(ctx context.Context, w *pipeline.Worker, doc pipeline.BatchDoc) (*pipeline.Verdict, error) {
+		return &pipeline.Verdict{DocID: doc.ID}, nil
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	doc := []byte("%PDF-1.5 tenant probe")
+	resp, _ := postScan(t, ts.URL, doc, map[string]string{HeaderTenant: "hot"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("hot tenant first submission: status %d", resp.StatusCode)
+	}
+	resp, body := postScan(t, ts.URL, doc, map[string]string{HeaderTenant: "hot"})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("hot tenant second submission: status %d, want 429 (body %s)", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("rate-limit 429 missing Retry-After")
+	}
+	resp, _ = postScan(t, ts.URL, doc, map[string]string{HeaderTenant: "cold"})
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("cold tenant starved by hot tenant: status %d", resp.StatusCode)
+	}
+	if got := reg.Snapshot().Counters[obs.Series(obs.MetricServeRejected, "reason", "ratelimit")]; got != 1 {
+		t.Errorf("ratelimit rejection counter = %d, want 1", got)
+	}
+}
+
+// TestDrainCompletesInFlight: Shutdown while a document is mid-scan must
+// wait for that document's verdict to be written before returning, and
+// the submitter must receive its 200.
+func TestDrainCompletesInFlight(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, DrainTimeout: 10 * time.Second})
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	s.process = func(ctx context.Context, w *pipeline.Worker, doc pipeline.BatchDoc) (*pipeline.Verdict, error) {
+		close(entered)
+		<-release
+		return &pipeline.Verdict{DocID: doc.ID}, nil
+	}
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+
+	status := make(chan int, 1)
+	go func() {
+		resp, err := http.Post("http://"+s.Addr()+"/scan", "application/pdf", bytes.NewReader([]byte("%PDF-1.5 drain probe")))
+		if err != nil {
+			status <- -1
+			return
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		_ = resp.Body.Close()
+		status <- resp.StatusCode
+	}()
+	<-entered
+
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		done <- s.Shutdown(ctx)
+	}()
+	// Shutdown must be blocked on the in-flight document, not returning
+	// early and abandoning it.
+	select {
+	case err := <-done:
+		t.Fatalf("Shutdown returned (%v) while a document was in flight", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if code := <-status; code != http.StatusOK {
+		t.Errorf("in-flight submission finished with status %d, want 200", code)
+	}
+}
+
+// TestDrainingRejects: once draining, new submissions answer 503 and
+// /healthz flips to 503 so load balancers rotate the node out.
+func TestDrainingRejects(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	s.draining.Store(true)
+
+	resp, body := postScan(t, ts.URL, []byte("%PDF-1.5"), nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("draining scan: status %d, want 503 (body %s)", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("draining 503 missing Retry-After")
+	}
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	hb, _ := io.ReadAll(hr.Body)
+	_ = hr.Body.Close()
+	if hr.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("draining healthz: status %d, want 503 (body %s)", hr.StatusCode, hb)
+	}
+}
+
+// TestHealthz: a serving daemon answers 200 with its queue shape.
+func TestHealthz(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2, QueueDepth: 7})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d, body %s", resp.StatusCode, body)
+	}
+	var h map[string]any
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatalf("healthz JSON: %v", err)
+	}
+	if h["status"] != "ok" || h["queue_cap"] != float64(7) || h["workers"] != float64(2) {
+		t.Errorf("healthz body %s: want status ok, queue_cap 7, workers 2", body)
+	}
+}
+
+// TestDrainFlushesJournal: the forensic journal must hold the flushed
+// doc-open and verdict events for every served document after Shutdown —
+// even without closing the writer — and the verdict response must carry
+// the journal session as its correlation key.
+func TestDrainFlushesJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	jw := journal.NewWriter(f, journal.Options{Session: "serve-test"})
+
+	s := newTestServer(t, Config{
+		Pipeline: pipeline.Options{Seed: 4242, Obs: obs.NewRegistry(), Journal: jw},
+		Workers:  1,
+	})
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+
+	g := corpus.NewGenerator(4242)
+	doc := g.BenignFormJS()
+	resp, body := postScan(t, "http://"+s.Addr(), doc.Raw, map[string]string{HeaderDocID: "journaled-doc"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scan: status %d, body %s", resp.StatusCode, body)
+	}
+	var sr ScanResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatalf("verdict JSON: %v", err)
+	}
+	if sr.JournalSession != "serve-test" {
+		t.Errorf("journal_session %q, want serve-test", sr.JournalSession)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	events, err := journal.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading flushed journal: %v", err)
+	}
+	var open, verdict bool
+	for _, e := range events {
+		if e.DocID != "journaled-doc" {
+			continue
+		}
+		switch e.T {
+		case journal.TypeDocOpen:
+			open = true
+		case journal.TypeVerdict:
+			verdict = true
+		}
+	}
+	if !open || !verdict {
+		t.Errorf("flushed journal missing events for journaled-doc: open=%v verdict=%v (%d events)", open, verdict, len(events))
+	}
+}
+
+// TestNoGoroutineLeak: a full serve-and-drain cycle must release its
+// worker lanes and listener goroutines.
+func TestNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	s := newTestServer(t, Config{Workers: 4})
+	if err := s.Start("127.0.0.1:0"); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	g := corpus.NewGenerator(4242)
+	for i := 0; i < 3; i++ {
+		resp, _ := postScan(t, "http://"+s.Addr(), g.BenignText(4<<10).Raw, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("scan %d: status %d", i, resp.StatusCode)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	http.DefaultClient.CloseIdleConnections()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+3 {
+			return // allow a little slack for runtime bookkeeping
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before, %d after close", before, runtime.NumGoroutine())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestProxyRouting: in a two-peer deployment, a document owned by the
+// other peer is proxied there (verdict stamped with the serving node,
+// owner's accepted counter moves), while an already-routed submission is
+// always served locally — the loop-prevention rule.
+func TestProxyRouting(t *testing.T) {
+	regB := obs.NewRegistry()
+	b := newTestServer(t, Config{Pipeline: pipeline.Options{Obs: regB, Seed: 4242}, Workers: 1})
+	b.process = func(ctx context.Context, w *pipeline.Worker, doc pipeline.BatchDoc) (*pipeline.Verdict, error) {
+		return &pipeline.Verdict{DocID: doc.ID}, nil
+	}
+	if err := b.Start("127.0.0.1:0"); err != nil {
+		t.Fatalf("start peer B: %v", err)
+	}
+	addrB := b.Addr()
+
+	regA := obs.NewRegistry()
+	a := newTestServer(t, Config{
+		Pipeline: pipeline.Options{Obs: regA, Seed: 4242},
+		Workers:  1,
+		Peers:    []string{"nodeA", addrB},
+		Self:     "nodeA",
+	})
+	a.process = func(ctx context.Context, w *pipeline.Worker, doc pipeline.BatchDoc) (*pipeline.Verdict, error) {
+		return &pipeline.Verdict{DocID: doc.ID}, nil
+	}
+	ts := httptest.NewServer(a.Handler())
+	defer ts.Close()
+
+	// Find a payload whose content hash lands on B's arc.
+	ring := NewRing([]string{"nodeA", addrB}, 0)
+	var owned []byte
+	for i := 0; i < 10000; i++ {
+		p := []byte(fmt.Sprintf("%%PDF-1.5 routing probe %d", i))
+		if ring.Owner(instrument.ContentHash(p)) == addrB {
+			owned = p
+			break
+		}
+	}
+	if owned == nil {
+		t.Fatal("no probe payload hashed onto peer B")
+	}
+
+	resp, body := postScan(t, ts.URL, owned, map[string]string{HeaderDocID: "routed-doc"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("proxied scan: status %d, body %s", resp.StatusCode, body)
+	}
+	var sr ScanResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatalf("verdict JSON: %v", err)
+	}
+	if sr.Node != addrB {
+		t.Errorf("verdict node %q, want owner %q", sr.Node, addrB)
+	}
+	if got := regB.Snapshot().Counters[obs.MetricServeAccepted]; got != 1 {
+		t.Errorf("owner accepted counter = %d, want 1", got)
+	}
+	if got := regA.Snapshot().Counters[obs.MetricServeProxied]; got != 1 {
+		t.Errorf("router proxied counter = %d, want 1", got)
+	}
+
+	// Same B-owned payload with the routed marker: A must serve locally.
+	resp, body = postScan(t, ts.URL, owned, map[string]string{HeaderRouted: addrB})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("routed-marker scan: status %d, body %s", resp.StatusCode, body)
+	}
+	sr = ScanResponse{}
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatalf("verdict JSON: %v", err)
+	}
+	if sr.Node != "" {
+		t.Errorf("routed submission was proxied again (node %q): bounce loop", sr.Node)
+	}
+	if got := regA.Snapshot().Counters[obs.MetricServeProxied]; got != 1 {
+		t.Errorf("router proxied counter moved to %d on a routed submission", got)
+	}
+}
