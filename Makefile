@@ -39,9 +39,10 @@ journal-check:
 # units, exercised under concurrent batch load by the pipeline tests.
 # The serve package rides along: admission queue saturation, tenant
 # limiter contention, drain-vs-in-flight races, and the hook server's
-# accept-retry loop.
+# accept-retry loop. The triage tier runs inside the worker pool (every
+# batch worker evaluates documents concurrently), so it rides too.
 race:
-	$(GO) test -race ./internal/pipeline/... ./internal/detect/... ./internal/cache/... ./internal/obs/... ./internal/journal/... ./internal/js/... ./internal/serve/... ./internal/hook/...
+	$(GO) test -race ./internal/pipeline/... ./internal/detect/... ./internal/cache/... ./internal/obs/... ./internal/journal/... ./internal/js/... ./internal/serve/... ./internal/hook/... ./internal/triage/...
 
 # Batch-engine benchmarks: docs/sec at 1/4/8 workers plus the pooled
 # parse/serialize round trip.
@@ -56,19 +57,24 @@ bench-json:
 	$(GO) run ./cmd/pdfshield-bench -json $(BENCHJSON)
 
 # Perf regression gate: diff two committed benchmark records and fail on a
-# >10% warm open-phase p50 regression. Records that predate the open-phase
-# section (schema/1, BENCH_pr3/pr4) are accepted as OLD; their gate is
-# skipped and only throughput deltas print.
-BENCH_OLD ?= BENCH_pr4.json
-BENCH_NEW ?= BENCH_pr6.json
+# >10% warm open-phase p50 regression or a >10% end-to-end docs/sec drop
+# in the parallel-cached pass. Records that predate a section (schema/1
+# has no open phase, serve-only schema/3 has no batch sections, pre-/4 has
+# no triage) are accepted; the missing gates are skipped with a note.
+BENCH_OLD ?= BENCH_pr6.json
+BENCH_NEW ?= BENCH_pr8.json
 bench-compare:
 	$(GO) run ./cmd/pdfshield-bench -compare $(BENCH_OLD) $(BENCH_NEW)
 
 # Fuzz every attacker-facing decoder for FUZZTIME each: full-document PDF
-# parsing, the stream filter codecs, the Javascript interpreter, and the
-# SOAP envelope codec. New crashers land in testdata/fuzz/ — commit them.
+# parsing, the stream filter codecs, the Javascript interpreter, the SOAP
+# envelope codec, and the static triage tier (census + abstract
+# interpretation over arbitrary bytes — it must stay fail-safe, never
+# panic, and never route unparseable input confident-benign). New
+# crashers land in testdata/fuzz/ — commit them.
 fuzz:
 	$(GO) test -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/pdf/
 	$(GO) test -fuzz '^FuzzFilters$$' -fuzztime $(FUZZTIME) ./internal/pdf/
 	$(GO) test -fuzz '^FuzzJSInterp$$' -fuzztime $(FUZZTIME) ./internal/js/
 	$(GO) test -fuzz '^FuzzEnvelope$$' -fuzztime $(FUZZTIME) ./internal/soapsrv/
+	$(GO) test -fuzz '^FuzzTriage$$' -fuzztime $(FUZZTIME) ./internal/triage/

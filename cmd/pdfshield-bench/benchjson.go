@@ -34,8 +34,8 @@ type benchRecord struct {
 	// GoMaxProcs is the scheduler width the record ran under; on
 	// single-core CI boxes GOMAXPROCS is raised past NumCPU so the worker
 	// pool and VM dispatch still run genuinely interleaved.
-	GoMaxProcs int `json:"gomaxprocs"`
-	Seed      int64  `json:"seed"`
+	GoMaxProcs int   `json:"gomaxprocs"`
+	Seed       int64 `json:"seed"`
 
 	Corpus benchCorpus `json:"corpus"`
 
@@ -73,6 +73,13 @@ type benchRecord struct {
 	// Nil in batch-engine records; serve-only records in turn carry no
 	// batch or open-phase sections.
 	Serve *serve.LoadStats `json:"serve,omitempty"`
+
+	// Triage is the static-triage-tier section of a schema/4 record: the
+	// routing split over a mixed majority-confident-benign corpus, per-
+	// route p50 end-to-end latency, and the docs/sec ratio of the full
+	// pipeline with the tier on vs off. Nil in older and serve-only
+	// records.
+	Triage *benchTriage `json:"triage,omitempty"`
 }
 
 type benchCorpus struct {
@@ -266,9 +273,9 @@ func runJSONBench(path string, seed int64, workers, docs, unique int, cacheCfg c
 	corpusRounds, totalBytes := benchCorpusDocs(seed, unique, rounds)
 
 	rec := benchRecord{
-		Schema:    "pdfshield-bench/2",
-		Timestamp: time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
+		Schema:     "pdfshield-bench/4",
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
 		GOARCH:     runtime.GOARCH,
 		NumCPU:     runtime.NumCPU(),
@@ -338,6 +345,16 @@ func runJSONBench(path string, seed int64, workers, docs, unique int, cacheCfg c
 	}
 	for _, w := range rec.JSEngine {
 		fmt.Printf("  js %-18s tree %8.1fµs / bytecode %8.1fµs (%.2fx)\n", w.Name+":", w.TreeUs, w.VMUs, w.Speedup)
+	}
+
+	rec.Triage, err = runTriageBench(seed)
+	if err != nil {
+		return fmt.Errorf("triage bench: %w", err)
+	}
+	fmt.Printf("  triage:            %.1f → %.1f docs/sec (%.1fx) over %d docs\n",
+		rec.Triage.Off.DocsPerSec, rec.Triage.On.DocsPerSec, rec.Triage.Speedup, rec.Triage.Docs)
+	for _, r := range rec.Triage.Routes {
+		fmt.Printf("  triage route %-12s %3d docs, p50 %8.1fµs\n", r.Route+":", r.Docs, r.P50Us)
 	}
 
 	data, err := json.MarshalIndent(rec, "", "  ")

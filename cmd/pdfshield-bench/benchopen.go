@@ -51,7 +51,7 @@ type benchOpenPhase struct {
 	BytecodeCold benchOpenPass     `json:"bytecode_cold"`
 	BytecodeWarm benchOpenPass     `json:"bytecode_warm"`
 	WarmSpeedup  float64           `json:"warm_speedup_vs_tree"` // tree p50 / warm p50
-	Units        js.UnitCacheStats `json:"js_units"` // cumulative, after the warm pass
+	Units        js.UnitCacheStats `json:"js_units"`             // cumulative, after the warm pass
 	// UnitHitRate covers the warm pass alone (stats delta across it): the
 	// deployed steady state, where instrument-time warming means opens
 	// never compile. The cold pass's deliberate misses are excluded.
@@ -286,6 +286,12 @@ func runJSEngineBench() ([]benchJSWorkload, error) {
 // records before -compare fails the build.
 const openP50Tolerance = 1.10
 
+// docsPerSecTolerance is how far the new record's end-to-end throughput
+// may fall below the old one's before -compare fails the build. The gate
+// runs on the parallel-cached pass (the deployed configuration); 10% is
+// loose enough for run-to-run noise under min-of-7 reps.
+const docsPerSecTolerance = 0.90
+
 // runCompare loads two benchmark records and fails (non-nil error) if the
 // new record's warm open-phase p50 regressed more than 10% against the
 // old one. Records from before the open-phase section existed (schema
@@ -347,6 +353,38 @@ func runCompare(oldPath, newPath string) error {
 		fmt.Printf("  serve p50:         %8.2f -> %8.2f ms (%s)\n", o.P50Ms, n.P50Ms, ratio(o.P50Ms, n.P50Ms))
 		fmt.Printf("  serve p99:         %8.2f -> %8.2f ms (%s)\n", o.P99Ms, n.P99Ms, ratio(o.P99Ms, n.P99Ms))
 		fmt.Printf("  serve rejection:   %7.1f%% -> %7.1f%%\n", o.RejectionRate*100, n.RejectionRate*100)
+	}
+	if oldRec.Triage != nil || newRec.Triage != nil {
+		var o, n benchTriage
+		if oldRec.Triage != nil {
+			o = *oldRec.Triage
+		}
+		if newRec.Triage != nil {
+			n = *newRec.Triage
+		}
+		switch {
+		case oldRec.Triage == nil:
+			fmt.Printf("  triage: %s predates the triage section (schema/4); %s routes %.1f -> %.1f docs/sec (%.1fx)\n",
+				oldPath, newPath, n.Off.DocsPerSec, n.On.DocsPerSec, n.Speedup)
+		case newRec.Triage == nil:
+			fmt.Printf("  triage: only the OLD record has the section; skipped\n")
+		default:
+			fmt.Printf("  triage on:         %8.2f -> %8.2f docs/sec (%s)\n",
+				o.On.DocsPerSec, n.On.DocsPerSec, ratio(o.On.DocsPerSec, n.On.DocsPerSec))
+			fmt.Printf("  triage speedup:    %7.1fx -> %7.1fx\n", o.Speedup, n.Speedup)
+		}
+	}
+
+	// End-to-end throughput gate: only when both records carry batch
+	// sections (schema/1 onward; serve-only records from -load have none).
+	oldTput := oldRec.ParallelCached.DocsPerSec
+	newTput := newRec.ParallelCached.DocsPerSec
+	if oldTput > 0 && newTput > 0 {
+		if newTput < oldTput*docsPerSecTolerance {
+			return fmt.Errorf("throughput regression: parallel cached %.2f -> %.2f docs/sec (more than %.0f%% below baseline)",
+				oldTput, newTput, (1-docsPerSecTolerance)*100)
+		}
+		fmt.Println("  OK: no end-to-end docs/sec regression beyond tolerance")
 	}
 
 	oldP50 := oldRec.Open.BytecodeWarm.P50Us

@@ -18,7 +18,11 @@
 // -replay re-feeds a recorded journal through a fresh detector state
 // machine — no listeners, no live readers — and verifies the replay
 // reproduces the recorded canonical event stream (feature triggers,
-// malscores, alert ordering) byte-for-byte. Alerts raised during the
+// malscores, alert ordering) byte-for-byte. When the recording contains
+// static triage routes, each routed document is also cross-checked: a
+// confident-benign route must carry a benign verdict, a confident-
+// malicious route a malicious one, and neither may have detector events
+// (the routed document never reached a reader). Alerts raised during the
 // replay print in the live format; any divergence is reported and the
 // command exits non-zero.
 package main
@@ -196,7 +200,62 @@ func runReplay(path string, registry *instrument.Registry, downloadsPath string,
 		}
 		return fmt.Errorf("replay diverged from recording in %d place(s)", len(diffs))
 	}
+	routed, err := verifyTriage(recorded, logger)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("replay verified: %d events deterministic (%d notifies, %d hooks, %d forgets)\n",
 		len(journal.CanonStream(recorded)), stats.Notifies, stats.Hooks, stats.Forgets)
+	if routed > 0 {
+		fmt.Printf("triage verified: %d statically routed document(s) consistent with their verdicts\n", routed)
+	}
 	return nil
+}
+
+// verifyTriage cross-checks the recording's static triage tier against its
+// verdicts: a confident-benign route must end in a benign verdict, a
+// confident-malicious route in a malicious one, and neither may have
+// produced canonical detector events (the routed document never reached a
+// reader). Returns how many routed ("benign"/"malicious") documents were
+// verified; uncertain routes took the dynamic tier and are covered by the
+// canonical-stream diff instead.
+func verifyTriage(recorded []journal.Event, logger *slog.Logger) (int, error) {
+	verdicts := make(map[string]*journal.Verdict)
+	canonicalKeys := make(map[string]bool)
+	for _, e := range recorded {
+		if e.T == journal.TypeVerdict {
+			verdicts[e.DocID] = e.Verdict
+			continue
+		}
+		if e.Canon() != "" && e.Key != "" {
+			canonicalKeys[e.Key] = true
+		}
+	}
+	routed, bad := 0, 0
+	for _, e := range recorded {
+		if e.T != journal.TypeTriage || e.Triage == nil || e.Triage.Route == "uncertain" {
+			continue
+		}
+		routed++
+		v, ok := verdicts[e.DocID]
+		if !ok {
+			logger.Error("triage inconsistency", "doc", e.DocID, "route", e.Triage.Route, "problem", "no verdict recorded")
+			bad++
+			continue
+		}
+		wantMalicious := e.Triage.Route == "malicious"
+		if v.Malicious != wantMalicious {
+			logger.Error("triage inconsistency", "doc", e.DocID, "route", e.Triage.Route, "verdict_malicious", v.Malicious)
+			bad++
+		}
+		if e.Key != "" && canonicalKeys[e.Key] {
+			logger.Error("triage inconsistency", "doc", e.DocID, "route", e.Triage.Route,
+				"problem", "statically routed key has canonical detector events", "key", e.Key)
+			bad++
+		}
+	}
+	if bad > 0 {
+		return routed, fmt.Errorf("triage records inconsistent with verdicts in %d place(s)", bad)
+	}
+	return routed, nil
 }

@@ -12,7 +12,7 @@
 //
 // Usage:
 //
-//	pdfshield-scan [-analyze] [-out instrumented.pdf] [-spec spec.json]
+//	pdfshield-scan [-analyze] [-triage] [-out instrumented.pdf] [-spec spec.json]
 //	               [-registry registry.json] [-endpoint url]
 //	               [-workers N] [-cache] [-cache-entries N]
 //	               [-cache-bytes N] [-cache-ttl d] [-metrics-addr host:port]
@@ -44,6 +44,7 @@ import (
 	"pdfshield/internal/instrument"
 	"pdfshield/internal/journal"
 	"pdfshield/internal/obs"
+	"pdfshield/internal/triage"
 )
 
 func main() {
@@ -66,6 +67,7 @@ func run() error {
 	cacheBytes := flag.Int64("cache-bytes", 0, "cache byte cap (0 = default, negative = unlimited)")
 	cacheTTL := flag.Duration("cache-ttl", 0, "cache entry time-to-live (0 = never expires)")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus text metrics on this address (/metrics, plus expvar on /debug/vars); empty = off")
+	useTriage := flag.Bool("triage", false, "report the static triage route (benign/malicious/uncertain) per input")
 	logOpts := cli.RegisterLogFlags(flag.CommandLine)
 	jOpts := cli.RegisterJournalFlags(flag.CommandLine, "pdfshield-scan")
 	flag.Parse()
@@ -152,7 +154,7 @@ func run() error {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				reports[i], errs[i] = scanFile(inputs[i], ins, fc, jw, *analyzeOnly, *outPath, *specPath)
+				reports[i], errs[i] = scanFile(inputs[i], ins, fc, jw, *analyzeOnly, *useTriage, *outPath, *specPath)
 			}
 		}()
 	}
@@ -195,7 +197,7 @@ func run() error {
 // ordering is the caller's job. The document is parsed exactly once for
 // analysis: embedded extraction reuses the parsed host instead of a
 // second pdf.Parse over the same bytes.
-func scanFile(input string, ins *instrument.Instrumenter, fc *cache.Cache, jw *journal.Writer, analyzeOnly bool, outPath, specPath string) (string, error) {
+func scanFile(input string, ins *instrument.Instrumenter, fc *cache.Cache, jw *journal.Writer, analyzeOnly, useTriage bool, outPath, specPath string) (string, error) {
 	var sb strings.Builder
 	raw, err := os.ReadFile(input)
 	if err != nil {
@@ -226,6 +228,18 @@ func scanFile(input string, ins *instrument.Instrumenter, fc *cache.Cache, jw *j
 		fmt.Fprintf(&sb, "  holder obj %-4d trigger=%-18s %d chars: %q\n", c.Holder, c.Trigger, len(c.Source), preview)
 	}
 	if analyzeOnly {
+		if useTriage {
+			// Bytes-plus-analysis triage: the same decision the pipeline
+			// tier makes, minus the embedded-document recursion the full
+			// front-end performs.
+			d := triage.Evaluate(triage.Config{}, raw, &instrument.Result{
+				Features:    feats,
+				Chains:      chains,
+				Doc:         doc,
+				ObjectCount: chains.TotalObjects,
+			})
+			writeTriageReport(&sb, d)
+		}
 		return sb.String(), nil
 	}
 	if !merged.HasJavaScript {
@@ -236,6 +250,9 @@ func scanFile(input string, ins *instrument.Instrumenter, fc *cache.Cache, jw *j
 	res, cached, err := instrumentCached(input, raw, ins, fc)
 	if err != nil {
 		return sb.String(), fmt.Errorf("instrument: %w", err)
+	}
+	if useTriage {
+		writeTriageReport(&sb, triage.Evaluate(triage.Config{}, raw, res))
 	}
 
 	out := outPath
@@ -271,6 +288,18 @@ func scanFile(input string, ins *instrument.Instrumenter, fc *cache.Cache, jw *j
 	fmt.Fprintf(&sb, "timing:            parse %.4fs, features %.4fs, instrument %.4fs\n",
 		res.Timing.ParseDecompress.Seconds(), res.Timing.FeatureExtraction.Seconds(), res.Timing.Instrumentation.Seconds())
 	return sb.String(), nil
+}
+
+// writeTriageReport renders the static triage decision: the route plus
+// whichever evidence produced it.
+func writeTriageReport(sb *strings.Builder, d triage.Decision) {
+	fmt.Fprintf(sb, "triage route:      %s (score %d, %d scripts analyzed)\n", d.Route, d.Score, d.Scripts)
+	if len(d.Signals) > 0 {
+		fmt.Fprintf(sb, "triage signals:    %s\n", strings.Join(d.Signals, ", "))
+	}
+	if len(d.Uncertain) > 0 {
+		fmt.Fprintf(sb, "triage fail-safe:  %s\n", strings.Join(d.Uncertain, ", "))
+	}
 }
 
 // instrumentCached routes instrumentation through the cache when enabled.

@@ -21,6 +21,7 @@
 //	                [-tenant-rate R] [-tenant-burst N]
 //	                [-peers a:1,b:2] [-self a:1]
 //	                [-cache] [-cache-entries N] [-cache-bytes N] [-cache-ttl d]
+//	                [-triage]
 //	                [-seed N] [-journal events.jsonl] [-log-level info]
 //
 // Load generator (capacity measurement against a running daemon):
@@ -51,6 +52,7 @@ import (
 	"pdfshield/internal/obs"
 	"pdfshield/internal/pipeline"
 	"pdfshield/internal/serve"
+	"pdfshield/internal/triage"
 )
 
 func main() {
@@ -75,6 +77,7 @@ func run() error {
 	cacheBytes := flag.Int64("cache-bytes", 0, "cache byte cap (0 = default, negative = unlimited)")
 	cacheTTL := flag.Duration("cache-ttl", 0, "cache entry time-to-live (0 = never expires)")
 	seed := flag.Int64("seed", 0, "instrumentation randomization seed (0 = time-based)")
+	useTriage := flag.Bool("triage", false, "static triage tier: confident documents skip the reader sandbox (fail-safe routing)")
 
 	load := flag.Bool("load", false, "run the load generator against -target instead of serving")
 	target := flag.String("target", "", "load: base URL of the running daemon (http://host:port)")
@@ -149,6 +152,9 @@ func run() error {
 			MaxBytes:   *cacheBytes,
 			TTL:        *cacheTTL,
 		}
+	}
+	if *useTriage {
+		cfg.Pipeline.Triage = &triage.Config{}
 	}
 
 	srv, err := serve.New(cfg)

@@ -32,6 +32,7 @@ func All(seed int64) []Detector {
 		NewStructPath(),
 		NewMDScan(),
 		NewWepawet(),
+		NewCensus(seed),
 	}
 }
 

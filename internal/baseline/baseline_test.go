@@ -5,6 +5,7 @@ import (
 
 	"pdfshield/internal/corpus"
 	"pdfshield/internal/ml"
+	"pdfshield/internal/triage"
 )
 
 // trainEval trains a detector on one corpus slice and evaluates on another.
@@ -59,7 +60,7 @@ func TestUntrainedErrors(t *testing.T) {
 }
 
 func TestByName(t *testing.T) {
-	for _, name := range []string{"ngram", "pjscan", "pdfrate", "structpath", "mdscan", "wepawet"} {
+	for _, name := range []string{"ngram", "pjscan", "pdfrate", "structpath", "mdscan", "wepawet", "census"} {
 		if _, err := ByName(name, 1); err != nil {
 			t.Errorf("ByName(%q): %v", name, err)
 		}
@@ -80,6 +81,33 @@ func TestStructuralBaselinesStrongOnStandardCorpus(t *testing.T) {
 		if c.FPR() > 0.15 {
 			t.Errorf("%s: FPR = %.2f, want <= 0.15 (%v)", name, c.FPR(), c)
 		}
+	}
+}
+
+func TestCensusDetectorStrongOnStandardCorpus(t *testing.T) {
+	trainB, trainM, testB, testM := corpusSlices(27, 60, 40)
+	d := NewCensus(5)
+	c := trainEval(t, d, trainB, trainM, testB, testM)
+	if c.TPR() < 0.9 {
+		t.Errorf("census: TPR = %.2f, want >= 0.9 (%v)", c.TPR(), c)
+	}
+	if c.FPR() > 0.15 {
+		t.Errorf("census: FPR = %.2f, want <= 0.15 (%v)", c.FPR(), c)
+	}
+}
+
+func TestCensusVectorOnGarbage(t *testing.T) {
+	v := censusVector([]byte("not a pdf"))
+	if len(v) != triage.CensusDim {
+		t.Fatalf("dim = %d, want %d", len(v), triage.CensusDim)
+	}
+	// Unparseable input takes the bytes-only census: structural columns
+	// (objects, F1–F5 sum) stay zero while byte-level ones still fill in.
+	if v[11] != 0 || v[15] != 0 {
+		t.Errorf("structural columns should be zero on garbage: %v", v)
+	}
+	if v[0] == 0 {
+		t.Errorf("size column should be set: %v", v)
 	}
 }
 

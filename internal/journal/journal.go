@@ -68,6 +68,14 @@ const (
 	// (malscore dies with the reader process, §III-E). Replayed, so that
 	// out-of-JS attribution sees the same set of live documents.
 	TypeForget = "forget"
+	// TypeTriage is the static triage tier's routing decision for a
+	// document, with the score/feature breakdown behind it. Pipeline-
+	// origin and non-canonical by design: a triage-routed document never
+	// produces detector events, so replay determinism is preserved — the
+	// canonical detector stream is empty either way, and the verdict
+	// consistency of routed documents is checked separately
+	// (`pdfshield-detect -replay`).
+	TypeTriage = "triage"
 	// TypeDocOpen marks a document entering the pipeline.
 	TypeDocOpen = "doc-open"
 	// TypeVerdict is the pipeline's final per-document outcome.
@@ -152,6 +160,26 @@ type Alert struct {
 	Terminated []int    `json:"terminated,omitempty"`
 }
 
+// Triage is the payload of TypeTriage events: the route plus the full
+// evidence breakdown (suspicion score, abstract-interpretation signals,
+// fail-safe markers, census summary). Slices arrive sorted from the
+// triage stage, so the payload serializes deterministically.
+type Triage struct {
+	// Route is "benign", "malicious" or "uncertain".
+	Route string `json:"route"`
+	// Score is the abstract interpreter's suspicion score.
+	Score int `json:"score"`
+	// Signals are the suspicious constructs proved reachable.
+	Signals []string `json:"signals,omitempty"`
+	// Uncertain are the fail-safe conditions that forced (or would have
+	// forced) the dynamic path.
+	Uncertain []string `json:"uncertain,omitempty"`
+	// Static is the F1–F5 vector the census saw.
+	Static []int `json:"static,omitempty"`
+	// Scripts is how many extracted scripts were analyzed.
+	Scripts int `json:"scripts"`
+}
+
 // Verdict is the payload of TypeVerdict events.
 type Verdict struct {
 	Malicious    bool   `json:"malicious"`
@@ -192,6 +220,7 @@ type Event struct {
 	Feature *Feature `json:"feature,omitempty"`
 	Confine *Confine `json:"confine,omitempty"`
 	Alert   *Alert   `json:"alert,omitempty"`
+	Triage  *Triage  `json:"triage,omitempty"`
 	Verdict *Verdict `json:"verdict,omitempty"`
 }
 

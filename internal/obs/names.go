@@ -69,6 +69,12 @@ const (
 	MetricCacheEntries   = "pdfshield_cache_entries"
 	MetricCacheBytes     = "pdfshield_cache_bytes"
 
+	// Static triage tier series (internal/pipeline over internal/triage).
+	// Routes carries a "route" label (benign/malicious/uncertain); the
+	// histogram observes each triage evaluation.
+	MetricTriageRoutes  = "pdfshield_triage_routes_total"
+	MetricTriageSeconds = "pdfshield_triage_seconds"
+
 	// Bytecode JS engine series (internal/js). The histogram observes each
 	// compile performed on a unit-cache miss; the counters/gauges are
 	// callback-backed from js.UnitCache.Stats (see pipeline's System wiring).
@@ -86,8 +92,11 @@ const (
 	PhaseParse      = "parse"
 	PhaseAnalyze    = "analyze"
 	PhaseInstrument = "instrument"
-	PhaseOpen       = "open"
-	PhaseDetect     = "detect"
+	// PhaseTriage is the static fast-path stage between instrument and
+	// open (absent from traces when triage is disabled).
+	PhaseTriage = "triage"
+	PhaseOpen   = "open"
+	PhaseDetect = "detect"
 	// PhaseFrontEnd is the collapsed front-end span recorded when a cache
 	// hit (or shared flight) skipped the real parse/analyze/instrument
 	// phases.

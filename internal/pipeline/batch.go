@@ -11,6 +11,7 @@ import (
 	"pdfshield/internal/cache"
 	"pdfshield/internal/instrument"
 	"pdfshield/internal/obs"
+	"pdfshield/internal/triage"
 )
 
 // BatchDoc is one input document for ProcessBatch.
@@ -225,6 +226,10 @@ func (s *System) processWithSession(ctx context.Context, sess **Session, doc Bat
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	td := s.runTriage(doc.ID, doc.Raw, res, tr)
+	if td != nil && td.Route != triage.RouteUncertain {
+		return s.verdictFromTriage(doc.ID, res, td), nil
+	}
 	if *sess == nil {
 		ns, err := s.NewSession()
 		if err != nil {
@@ -236,6 +241,7 @@ func (s *System) processWithSession(ctx context.Context, sess **Session, doc Bat
 	}
 	v, err = s.openAndJudge(ctx, *sess, res, tr)
 	claimVerdict(v, doc.ID)
+	annotateTriage(v, td)
 	return v, err
 }
 

@@ -21,6 +21,7 @@ import (
 	"pdfshield/internal/js"
 	"pdfshield/internal/obs"
 	"pdfshield/internal/reader"
+	"pdfshield/internal/triage"
 	"pdfshield/internal/winos"
 )
 
@@ -67,6 +68,13 @@ type Options struct {
 	// tree-walking engine instead of the bytecode VM (engine A/B
 	// benchmarking; verdicts are identical on both engines).
 	TreeWalkJS bool
+	// Triage enables the static fast-path tier between the front-end and
+	// the reader session (nil = off, every document opens dynamically).
+	// Confident-benign documents skip the sandbox, confident-malicious
+	// documents are convicted without ever being opened, and everything
+	// else ("uncertain") falls through to the full dynamic open
+	// unchanged. The zero triage.Config is the production default.
+	Triage *triage.Config
 }
 
 // System is a running instance of the whole protection stack.
@@ -375,6 +383,14 @@ type Verdict struct {
 	// Trace is the document's phase timeline (parse → analyze →
 	// instrument → open → detect) with cache and outcome annotations.
 	Trace *obs.Trace
+	// TriageRoute is the static triage tier's routing decision for this
+	// submission ("benign", "malicious", "uncertain"; empty when triage
+	// is disabled or the document short-circuited before the tier ran).
+	TriageRoute string
+	// Triage is the full triage decision behind TriageRoute (nil when
+	// disabled). For "benign"/"malicious" routes Open is nil: no reader
+	// session was created.
+	Triage *triage.Decision
 }
 
 // ProcessDocument runs the complete workflow on one document with no
@@ -418,6 +434,10 @@ func (s *System) ProcessDocumentContext(ctx context.Context, docID string, raw [
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	td := s.runTriage(docID, raw, res, tr)
+	if td != nil && td.Route != triage.RouteUncertain {
+		return s.verdictFromTriage(docID, res, td), nil
+	}
 	sess, err := s.NewSession()
 	if err != nil {
 		return nil, err
@@ -425,6 +445,7 @@ func (s *System) ProcessDocumentContext(ctx context.Context, docID string, raw [
 	defer sess.Close()
 	v, err = s.openAndJudge(ctx, sess, res, tr)
 	claimVerdict(v, docID)
+	annotateTriage(v, td)
 	return v, err
 }
 

@@ -28,6 +28,9 @@ type Stats struct {
 	// script interpreters (the process-wide js.DefaultUnits unless
 	// Options.JSUnits isolated one).
 	JSUnits js.UnitCacheStats `json:"js_units"`
+	// Triage counts the static triage tier's routing decisions (all zero
+	// when Options.Triage is off).
+	Triage TriageStats `json:"triage"`
 	// Quarantined is how many artifacts runtime confinement has isolated.
 	Quarantined int `json:"quarantined"`
 	// BatchQueueDepth and BatchWorkers reflect in-flight ProcessBatch
@@ -68,6 +71,15 @@ type DetectStats struct {
 	// FeatureTriggers maps detector feature names ("F5:process-creation",
 	// ...) to how many per-document vectors set them.
 	FeatureTriggers map[string]uint64 `json:"feature_triggers,omitempty"`
+}
+
+// TriageStats counts static triage routes: Benign skipped the sandbox,
+// Malicious were convicted without an open, Uncertain fell through to
+// the full dynamic tier.
+type TriageStats struct {
+	Benign    uint64 `json:"benign"`
+	Malicious uint64 `json:"malicious"`
+	Uncertain uint64 `json:"uncertain"`
 }
 
 // Stats snapshots the System's observability registry into the
@@ -122,6 +134,17 @@ func (s *System) Stats() Stats {
 		}
 	}
 	for series, n := range snap.Counters {
+		if strings.HasPrefix(series, obs.MetricTriageRoutes+"{") {
+			switch obs.LabelValue(series, "route") {
+			case "benign":
+				st.Triage.Benign = n
+			case "malicious":
+				st.Triage.Malicious = n
+			case "uncertain":
+				st.Triage.Uncertain = n
+			}
+			continue
+		}
 		if !strings.HasPrefix(series, obs.MetricFeatureTriggers+"{") {
 			continue
 		}

@@ -272,6 +272,10 @@ type ScanResponse struct {
 	Malscore    int    `json:"malscore,omitempty"`
 	AlertReason string `json:"alert_reason,omitempty"`
 	Features    []int  `json:"features,omitempty"`
+	// TriageRoute is the static triage tier's routing decision
+	// (benign/malicious/uncertain; "" when the daemon runs without
+	// triage). Routed documents never opened a reader process.
+	TriageRoute string `json:"triage_route,omitempty"`
 	// Cache annotates how the front-end was satisfied (hit/miss/shared;
 	// "" when the daemon runs without a cache).
 	Cache          string     `json:"cache,omitempty"`
@@ -412,6 +416,7 @@ func (s *Server) writeVerdict(w http.ResponseWriter, docID, hash string, res job
 	resp.Malicious = v.Malicious
 	resp.NoJS = v.NoJavaScript
 	resp.Crashed = v.Crashed
+	resp.TriageRoute = v.TriageRoute
 	if v.Alert != nil {
 		resp.Malscore = v.Alert.Malscore
 		resp.AlertReason = v.Alert.Reason

@@ -1,0 +1,43 @@
+package triage
+
+import (
+	"testing"
+
+	"pdfshield/internal/instrument"
+	"pdfshield/internal/pdf"
+)
+
+// FuzzTriage throws hostile bytes at both triage surfaces at once: the
+// byte-level census (name scanning, entropy, EOF counting) and the
+// abstract interpreter (the same bytes fed as a script source). Neither
+// may panic, and whatever comes back must be a valid route — hostile
+// input earns the dynamic tier, never a crash and never a confident-
+// benign verdict.
+func FuzzTriage(f *testing.F) {
+	f.Add([]byte("%PDF-1.4\n1 0 obj <</AA 2 0 R>> endobj\n%%EOF"))
+	f.Add([]byte("/OpenAction/Launch/RichMedia/EmbeddedFile%%EOF%%EOF"))
+	f.Add([]byte(`var n = unescape("%0c"); while (n.length < 524288) n += n;`))
+	f.Add([]byte(`eval("eval(\"eval(1)\")");`))
+	f.Add([]byte(`util.printf("%99999999999999999999f", 0);`))
+	f.Add([]byte("/AA#41#42 \x00\xff\xfe /Lau#6ech"))
+	f.Add([]byte(`this.addScript("x", "app.setTimeOut(\"eval(1)\", 1)");`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		res := &instrument.Result{
+			Chains: pdf.ChainSet{Chains: []pdf.JSChain{{Source: string(data)}}},
+		}
+		d := Evaluate(Config{NodeBudget: 20000}, data, res)
+		switch d.Route {
+		case RouteMalicious, RouteUncertain:
+		case RouteBenign:
+			// A fast-path verdict on fuzz input is possible only when the
+			// bytes parse as a fully clean benign script; that is fine,
+			// but the decision must then claim zero signals.
+			if len(d.Signals) != 0 || len(d.Uncertain) != 0 {
+				t.Fatalf("benign route with evidence: %+v", d)
+			}
+		default:
+			t.Fatalf("invalid route %q", d.Route)
+		}
+		TakeCensus(data, nil)
+	})
+}

@@ -37,6 +37,7 @@ import (
 	"pdfshield/internal/obs"
 	"pdfshield/internal/pipeline"
 	"pdfshield/internal/reader"
+	"pdfshield/internal/triage"
 )
 
 // Options configures a System.
@@ -77,7 +78,19 @@ type Options struct {
 	// OpenJournal; a recorded journal replays offline through
 	// `pdfshield-detect -replay`.
 	Journal *Journal
+	// Triage enables the static fast-path tier between the front-end and
+	// the reader session (nil = off). Confident-benign documents skip the
+	// sandbox, confident-malicious documents are convicted without being
+	// opened, and everything uncertain falls through to the full dynamic
+	// open unchanged. Routing is fail-safe: any parse ambiguity,
+	// encryption, unknown API or analysis-budget blowup routes the
+	// document to the dynamic tier. The zero TriageConfig is the
+	// production default.
+	Triage *TriageConfig
 }
+
+// TriageConfig tunes the static triage tier; see Options.Triage.
+type TriageConfig = triage.Config
 
 // Journal is the append-only forensic event log (JSONL, sequence-numbered,
 // fail-open). See Options.Journal.
@@ -198,6 +211,7 @@ func New(opts Options) (*System, error) {
 		Cache:              cacheCfg,
 		Obs:                opts.Metrics,
 		Journal:            opts.Journal,
+		Triage:             opts.Triage,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("pdfshield: %w", err)
@@ -238,6 +252,11 @@ type Verdict struct {
 	// cache and outcome annotations. Nil when processing errored before a
 	// verdict formed.
 	Trace *Trace
+	// TriageRoute is the static triage tier's decision for this document
+	// ("benign", "malicious", "uncertain"; empty when Options.Triage is
+	// nil or the document short-circuited before the tier ran). Routed
+	// documents ("benign"/"malicious") never opened a reader process.
+	TriageRoute string
 }
 
 // Trace is one document's phase-span record; it marshals to JSON with
@@ -276,6 +295,7 @@ func toVerdict(v *pipeline.Verdict) *Verdict {
 		Crashed:        v.Crashed,
 		Deinstrumented: v.Deinstrumented,
 		Trace:          v.Trace,
+		TriageRoute:    v.TriageRoute,
 	}
 	if v.Instrument != nil {
 		out.Static = v.Instrument.Features
@@ -461,6 +481,9 @@ type PhaseStats = pipeline.PhaseStats
 // DetectStats counts front-end and runtime detector activity.
 type DetectStats = pipeline.DetectStats
 
+// TriageStats counts static triage routing decisions.
+type TriageStats = pipeline.TriageStats
+
 // Stats is a consolidated point-in-time snapshot of the System: document
 // outcomes, per-phase latency (keys "parse", "analyze", "instrument",
 // "open", "detect", plus "total" for end-to-end), detector activity,
@@ -474,6 +497,9 @@ type Stats struct {
 	// Cache snapshots the front-end cache (nil when the System runs
 	// without one).
 	Cache *CacheStats `json:"cache,omitempty"`
+	// Triage counts static triage routes (all zero when Options.Triage is
+	// nil).
+	Triage TriageStats `json:"triage"`
 	// Quarantined is how many artifacts runtime confinement has isolated.
 	Quarantined int `json:"quarantined"`
 	// BatchQueueDepth and BatchWorkers reflect in-flight batch calls;
@@ -493,6 +519,7 @@ func (s *System) Stats() Stats {
 		Docs:            in.Docs,
 		Phases:          in.Phases,
 		Detect:          in.Detect,
+		Triage:          in.Triage,
 		Quarantined:     in.Quarantined,
 		BatchQueueDepth: in.BatchQueueDepth,
 		BatchWorkers:    in.BatchWorkers,
