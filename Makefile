@@ -4,7 +4,7 @@ GO ?= go
 # internal/*/testdata/fuzz/ replay on every plain `make test` regardless.
 FUZZTIME ?= 30s
 
-.PHONY: build vet test race bench bench-json bench-compare fuzz journal-check serve-smoke
+.PHONY: build vet test race bench bench-json bench-compare fuzz journal-check serve-smoke lint-deprecated
 
 build:
 	$(GO) build ./...
@@ -12,8 +12,22 @@ build:
 vet:
 	$(GO) vet ./...
 
-test: vet journal-check serve-smoke
+test: vet lint-deprecated journal-check serve-smoke
 	$(GO) test ./...
+
+# Fails on any non-test usage of the deprecated scan surface:
+# ProcessDocument/ProcessBatch (use the Context variants) and
+# QuarantinedCount (use Stats). The defining files and the tests that pin
+# the aliases' behavior are exempt; everything else must be migrated.
+lint-deprecated:
+	@matches=$$(grep -rnE '\.(ProcessDocument|ProcessBatch|QuarantinedCount)\(' \
+		--include='*.go' --exclude='*_test.go' . \
+		| grep -vE '^\./(pdfshield\.go|internal/pipeline/(pipeline|batch)\.go):' || true); \
+	if [ -n "$$matches" ]; then \
+		echo "deprecated API usage (migrate to ProcessDocumentContext/ProcessBatchContext/Stats):"; \
+		echo "$$matches"; exit 1; \
+	fi; \
+	echo "lint-deprecated: clean"
 
 # End-to-end daemon smoke: build the pdfshield-serve binary, start it on
 # an ephemeral port, POST a corpus document, assert the verdict JSON, then
@@ -40,7 +54,10 @@ journal-check:
 # The serve package rides along: admission queue saturation, tenant
 # limiter contention, drain-vs-in-flight races, and the hook server's
 # accept-retry loop. The triage tier runs inside the worker pool (every
-# batch worker evaluates documents concurrently), so it rides too.
+# batch worker evaluates documents concurrently), so it rides too, as
+# does the forced-execution deep lane (pipeline deep-scan tests run
+# evasive corpora at batch width > 1, and the js package exercises the
+# explorer directly).
 race:
 	$(GO) test -race ./internal/pipeline/... ./internal/detect/... ./internal/cache/... ./internal/obs/... ./internal/journal/... ./internal/js/... ./internal/serve/... ./internal/hook/... ./internal/triage/...
 
@@ -61,13 +78,15 @@ bench-json:
 # in the parallel-cached pass. Records that predate a section (schema/1
 # has no open phase, serve-only schema/3 has no batch sections, pre-/4 has
 # no triage) are accepted; the missing gates are skipped with a note.
-BENCH_OLD ?= BENCH_pr6.json
-BENCH_NEW ?= BENCH_pr8.json
+BENCH_OLD ?= BENCH_pr8.json
+BENCH_NEW ?= BENCH_pr9.json
 bench-compare:
 	$(GO) run ./cmd/pdfshield-bench -compare $(BENCH_OLD) $(BENCH_NEW)
 
 # Fuzz every attacker-facing decoder for FUZZTIME each: full-document PDF
-# parsing, the stream filter codecs, the Javascript interpreter, the SOAP
+# parsing, the stream filter codecs, the Javascript interpreter (single
+# run and forced-execution exploration — arbitrary scripts must never
+# panic, hang, or leak forcing state out of the explorer), the SOAP
 # envelope codec, and the static triage tier (census + abstract
 # interpretation over arbitrary bytes — it must stay fail-safe, never
 # panic, and never route unparseable input confident-benign). New
@@ -76,5 +95,6 @@ fuzz:
 	$(GO) test -fuzz '^FuzzParse$$' -fuzztime $(FUZZTIME) ./internal/pdf/
 	$(GO) test -fuzz '^FuzzFilters$$' -fuzztime $(FUZZTIME) ./internal/pdf/
 	$(GO) test -fuzz '^FuzzJSInterp$$' -fuzztime $(FUZZTIME) ./internal/js/
+	$(GO) test -fuzz '^FuzzForcedExec$$' -fuzztime $(FUZZTIME) ./internal/js/
 	$(GO) test -fuzz '^FuzzEnvelope$$' -fuzztime $(FUZZTIME) ./internal/soapsrv/
 	$(GO) test -fuzz '^FuzzTriage$$' -fuzztime $(FUZZTIME) ./internal/triage/

@@ -10,6 +10,7 @@ package main
 // cache exists for.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -80,6 +81,12 @@ type benchRecord struct {
 	// pipeline with the tier on vs off. Nil in older and serve-only
 	// records.
 	Triage *benchTriage `json:"triage,omitempty"`
+
+	// DeepScan is the forced-execution tier section of a schema/5 record:
+	// detection uplift on gated evasive exploits at deep vs standard
+	// depth, per-document explored path counts, and the p50 cost ratio of
+	// a deep open. Nil in older and serve-only records.
+	DeepScan *benchDeepScan `json:"deepscan,omitempty"`
 }
 
 type benchCorpus struct {
@@ -172,7 +179,7 @@ const benchReps = 7
 // benchReps times and the fastest rep kept. Returns the pass plus the
 // per-phase latency sums of the first rep (one pass over the corpus),
 // read from the obs registry's phase histograms.
-func runUncached(rounds [][]pipeline.BatchDoc, workers int, seed int64) (benchPass, benchPhases, error) {
+func runUncached(rounds [][]pipeline.BatchDoc, workers int, seed int64, depth pipeline.Depth) (benchPass, benchPhases, error) {
 	best := benchPass{Workers: workers}
 	var phases benchPhases
 	for rep := 0; rep < benchReps; rep++ {
@@ -182,12 +189,12 @@ func runUncached(rounds [][]pipeline.BatchDoc, workers int, seed int64) (benchPa
 		}
 		pass := benchPass{Workers: workers}
 		for _, docs := range rounds {
-			sys, err := pipeline.NewSystem(pipeline.Options{ViewerVersion: 9.0, Seed: seed})
+			sys, err := pipeline.NewSystem(pipeline.Options{ViewerVersion: 9.0, Seed: seed, Depth: depth})
 			if err != nil {
 				return best, phases, err
 			}
 			start := time.Now()
-			res := sys.ProcessBatch(docs, pipeline.BatchOptions{Workers: workers})
+			res := sys.ProcessBatchContext(context.Background(), docs, pipeline.BatchOptions{Workers: workers})
 			pass.Seconds += time.Since(start).Seconds()
 			collectPass(&pass, res)
 			if err := sys.Close(); err != nil {
@@ -209,7 +216,7 @@ func runUncached(rounds [][]pipeline.BatchDoc, workers int, seed int64) (benchPa
 // round 1 misses, every later round hits. Each rep gets a fresh system
 // and cache so every rep sees the same miss/hit pattern; the fastest rep
 // is kept (its cache stats describe any rep equally).
-func runCached(rounds [][]pipeline.BatchDoc, workers int, seed int64, cfg cache.Config) (benchPass, cache.Stats, error) {
+func runCached(rounds [][]pipeline.BatchDoc, workers int, seed int64, depth pipeline.Depth, cfg cache.Config) (benchPass, cache.Stats, error) {
 	best := benchPass{Workers: workers}
 	var bestStats cache.Stats
 	all := make([]pipeline.BatchDoc, 0, len(rounds)*len(rounds[0]))
@@ -218,12 +225,12 @@ func runCached(rounds [][]pipeline.BatchDoc, workers int, seed int64, cfg cache.
 	}
 	for rep := 0; rep < benchReps; rep++ {
 		pass := benchPass{Workers: workers}
-		sys, err := pipeline.NewSystem(pipeline.Options{ViewerVersion: 9.0, Seed: seed, Cache: &cfg})
+		sys, err := pipeline.NewSystem(pipeline.Options{ViewerVersion: 9.0, Seed: seed, Depth: depth, Cache: &cfg})
 		if err != nil {
 			return best, bestStats, err
 		}
 		start := time.Now()
-		res := sys.ProcessBatch(all, pipeline.BatchOptions{Workers: workers})
+		res := sys.ProcessBatchContext(context.Background(), all, pipeline.BatchOptions{Workers: workers})
 		pass.Seconds = time.Since(start).Seconds()
 		collectPass(&pass, res)
 		var stats cache.Stats
@@ -252,8 +259,11 @@ func collectPass(pass *benchPass, res *pipeline.BatchResult) {
 	}
 }
 
-// runJSONBench executes the three passes and writes the record.
-func runJSONBench(path string, seed int64, workers, docs, unique int, cacheCfg cache.Config) error {
+// runJSONBench executes the three passes and writes the record. depth is
+// the scan depth of the batch passes (empty = standard, keeping the
+// committed trajectory comparable); the deep-scan section always runs
+// both depths on its own evasive corpus.
+func runJSONBench(path string, seed int64, workers, docs, unique int, depth pipeline.Depth, cacheCfg cache.Config) error {
 	if seed == 0 {
 		seed = 20140623
 	}
@@ -273,7 +283,7 @@ func runJSONBench(path string, seed int64, workers, docs, unique int, cacheCfg c
 	corpusRounds, totalBytes := benchCorpusDocs(seed, unique, rounds)
 
 	rec := benchRecord{
-		Schema:     "pdfshield-bench/4",
+		Schema:     "pdfshield-bench/5",
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
 		GoVersion:  runtime.Version(),
 		GOOS:       runtime.GOOS,
@@ -294,21 +304,21 @@ func runJSONBench(path string, seed int64, workers, docs, unique int, cacheCfg c
 
 	var phases benchPhases
 	var err error
-	rec.SerialUncached, phases, err = runUncached(corpusRounds, 1, seed)
+	rec.SerialUncached, phases, err = runUncached(corpusRounds, 1, seed, depth)
 	if err != nil {
 		return fmt.Errorf("serial uncached pass: %w", err)
 	}
 	rec.Phases = phases
 	fmt.Printf("  serial uncached:   %.2f docs/sec\n", rec.SerialUncached.DocsPerSec)
 
-	rec.ParallelUncached, _, err = runUncached(corpusRounds, workers, seed)
+	rec.ParallelUncached, _, err = runUncached(corpusRounds, workers, seed, depth)
 	if err != nil {
 		return fmt.Errorf("parallel uncached pass: %w", err)
 	}
 	fmt.Printf("  parallel uncached: %.2f docs/sec (workers %d)\n", rec.ParallelUncached.DocsPerSec, workers)
 
 	var stats cache.Stats
-	rec.ParallelCached, stats, err = runCached(corpusRounds, workers, seed, cacheCfg)
+	rec.ParallelCached, stats, err = runCached(corpusRounds, workers, seed, depth, cacheCfg)
 	if err != nil {
 		return fmt.Errorf("cached pass: %w", err)
 	}
@@ -356,6 +366,14 @@ func runJSONBench(path string, seed int64, workers, docs, unique int, cacheCfg c
 	for _, r := range rec.Triage.Routes {
 		fmt.Printf("  triage route %-12s %3d docs, p50 %8.1fµs\n", r.Route+":", r.Docs, r.P50Us)
 	}
+
+	rec.DeepScan, err = runDeepScanBench(seed)
+	if err != nil {
+		return fmt.Errorf("deep-scan bench: %w", err)
+	}
+	fmt.Printf("  deepscan:          %d/%d detected standard → %d/%d deep, p50 %.0f → %.0fµs (%.1fx)\n",
+		rec.DeepScan.DetectedStandard, rec.DeepScan.Docs, rec.DeepScan.DetectedDeep, rec.DeepScan.Docs,
+		rec.DeepScan.StandardP50Us, rec.DeepScan.DeepP50Us, rec.DeepScan.CostRatio)
 
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {

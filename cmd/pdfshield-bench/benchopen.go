@@ -375,6 +375,30 @@ func runCompare(oldPath, newPath string) error {
 		}
 	}
 
+	// Forced-execution gate: the deep-depth detection rate on the evasive
+	// corpus must never decrease — coverage is the tier's whole point, so
+	// a cheaper deep scan that misses a gated exploit is a regression, not
+	// an optimization.
+	if oldRec.DeepScan != nil || newRec.DeepScan != nil {
+		switch {
+		case oldRec.DeepScan == nil:
+			fmt.Printf("  deepscan: %s predates the deep-scan section (schema/5); new deep rate %.0f%% at %.1fx cost\n",
+				oldPath, newRec.DeepScan.DeepRate*100, newRec.DeepScan.CostRatio)
+		case newRec.DeepScan == nil:
+			fmt.Println("  deepscan: only the OLD record has the section; skipped")
+		default:
+			o, n := oldRec.DeepScan, newRec.DeepScan
+			fmt.Printf("  deepscan detect:   %5.0f%% -> %5.0f%% deep (standard %.0f%% -> %.0f%%)\n",
+				o.DeepRate*100, n.DeepRate*100, o.StandardRate*100, n.StandardRate*100)
+			fmt.Printf("  deepscan cost:     %6.1fx -> %6.1fx p50 vs standard\n", o.CostRatio, n.CostRatio)
+			if n.DeepRate < o.DeepRate {
+				return fmt.Errorf("evasive detection regression: deep-depth rate %.0f%% -> %.0f%%",
+					o.DeepRate*100, n.DeepRate*100)
+			}
+			fmt.Println("  OK: evasive detection rate did not decrease")
+		}
+	}
+
 	// End-to-end throughput gate: only when both records carry batch
 	// sections (schema/1 onward; serve-only records from -load have none).
 	oldTput := oldRec.ParallelCached.DocsPerSec

@@ -10,6 +10,7 @@ package main
 // document convicted by the dynamic tier may lose its conviction.
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -107,7 +108,7 @@ func runTriagePass(docs []pipeline.BatchDoc, seed int64, cfg *triage.Config) (be
 	start := time.Now()
 	for _, d := range docs {
 		t0 := time.Now()
-		v, err := sys.ProcessDocument(d.ID, d.Raw)
+		v, err := sys.ProcessDocumentContext(context.Background(), d.ID, d.Raw)
 		dur := time.Since(t0)
 		pass.Docs++
 		if err != nil {

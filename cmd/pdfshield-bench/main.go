@@ -8,7 +8,8 @@
 //
 //	pdfshield-bench [-scale 0.1] [-seed 20140623] [-only table-viii]
 //	                [-out results.txt] [-list] [-workers N]
-//	                [-json bench.json] [-bench-docs 50] [-bench-unique 10]
+//	                [-json bench.json] [-depth static|standard|deep|auto]
+//	                [-bench-docs 50] [-bench-unique 10]
 //	                [-cache-entries N] [-cache-bytes N] [-cache-ttl d]
 //	                [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	                [-metrics-addr host:port]
@@ -35,9 +36,10 @@
 // -cpuprofile / -memprofile write pprof profiles of whichever mode ran, so
 // perf work starts from a profile instead of a guess.
 //
-// -compare diffs two committed records and exits non-zero if the new one's
-// warm open-phase p50 regressed more than 10% — the CI gate behind
-// `make bench-compare`.
+// -compare diffs two committed records and exits non-zero on a
+// regression: warm open-phase p50 or parallel-cached docs/sec more than
+// 10% worse, or any decrease in the deep-depth evasive detection rate —
+// the CI gates behind `make bench-compare`.
 package main
 
 import (
@@ -54,6 +56,7 @@ import (
 	"pdfshield/internal/cli"
 	"pdfshield/internal/experiments"
 	"pdfshield/internal/obs"
+	"pdfshield/internal/pipeline"
 )
 
 func main() {
@@ -71,6 +74,7 @@ func run() error {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	workers := flag.Int("workers", 1, "worker-pool width for pipeline corpus passes (1 = serial, matching the paper; try runtime.NumCPU())")
 	jsonPath := flag.String("json", "", "write a machine-readable batch/cache benchmark record to this file (skips the experiment suite)")
+	depthFlag := flag.String("depth", "", "scan depth for the -json batch passes: static|standard|deep|auto (empty = standard; the experiment suite always runs the paper's standard depth)")
 	benchDocs := flag.Int("bench-docs", 50, "total documents in the -json benchmark corpus")
 	benchUnique := flag.Int("bench-unique", 5, "unique documents in the -json benchmark corpus (the rest are byte-identical duplicates)")
 	cacheEntries := flag.Int("cache-entries", 0, "front-end cache entry cap for the -json cached pass (0 = default)")
@@ -140,9 +144,19 @@ func run() error {
 		}()
 	}
 
+	depth, err := pipeline.ParseDepth(*depthFlag)
+	if err != nil {
+		return err
+	}
+
 	if *jsonPath != "" {
 		cfg := cache.Config{MaxEntries: *cacheEntries, MaxBytes: *cacheBytes, TTL: *cacheTTL}
-		return runJSONBench(*jsonPath, *seed, *workers, *benchDocs, *benchUnique, cfg)
+		return runJSONBench(*jsonPath, *seed, *workers, *benchDocs, *benchUnique, depth, cfg)
+	}
+	if depth != "" && depth != pipeline.DepthStandard {
+		// The suite regenerates the paper's tables; its configuration is the
+		// paper's (standard depth), not an operator choice.
+		return fmt.Errorf("-depth %s: the experiment suite reproduces the paper at standard depth (use -json for depth-aware benchmarks)", depth)
 	}
 
 	cfg := experiments.Config{Scale: *scale, Seed: *seed, Workers: *workers}

@@ -9,6 +9,7 @@
 //	                 [-duration 30s] [-journal events.jsonl]
 //	                 [-log-level info] [-log-json]
 //	pdfshield-detect -registry registry.json -replay events.jsonl
+//	                 [-depth static|standard|deep|auto]
 //
 // -journal records every detector event (context transitions, hooked API
 // calls with their confinement decisions, feature triggers, alerts with
@@ -42,6 +43,7 @@ import (
 	"pdfshield/internal/instrument"
 	"pdfshield/internal/journal"
 	"pdfshield/internal/obs"
+	"pdfshield/internal/pipeline"
 	"pdfshield/internal/winos"
 )
 
@@ -58,11 +60,21 @@ func run() error {
 	duration := flag.Duration("duration", 0, "exit after this long (0 = until SIGINT)")
 	pollEvery := flag.Duration("poll", time.Second, "alert polling interval")
 	replayPath := flag.String("replay", "", "replay a recorded journal through a fresh detector and verify determinism (no listeners started)")
+	depthFlag := flag.String("depth", "", "scan depth the recording was made at: static|standard|deep|auto (replay cross-checks deep-scan records; -depth deep requires them)")
 	logOpts := cli.RegisterLogFlags(flag.CommandLine)
 	jOpts := cli.RegisterJournalFlags(flag.CommandLine, "pdfshield-detect")
 	flag.Parse()
 
 	logger, err := logOpts.SetupLogger("pdfshield-detect")
+	if err != nil {
+		return err
+	}
+
+	// The detector itself is depth-agnostic — runtime events look the same
+	// whichever tier produced them — but the flag shares the pipeline
+	// vocabulary so operators can assert what kind of run a recording
+	// came from (see verifyDeepScan).
+	depth, err := pipeline.ParseDepth(*depthFlag)
 	if err != nil {
 		return err
 	}
@@ -77,7 +89,7 @@ func run() error {
 	}
 
 	if *replayPath != "" {
-		return runReplay(*replayPath, registry, *downloadsPath, logger)
+		return runReplay(*replayPath, registry, *downloadsPath, depth, logger)
 	}
 
 	jw, err := jOpts.Open(obs.Default)
@@ -158,7 +170,7 @@ func printAlert(a detect.Alert) {
 // listeners) journaling into memory, then diffs the recorded and replayed
 // canonical event streams. A clean diff proves the journal deterministically
 // reproduces the live run's feature vectors, malscores and alert order.
-func runReplay(path string, registry *instrument.Registry, downloadsPath string, logger *slog.Logger) error {
+func runReplay(path string, registry *instrument.Registry, downloadsPath string, depth pipeline.Depth, logger *slog.Logger) error {
 	recorded, err := journal.ReadFile(path)
 	if err != nil {
 		return err
@@ -204,12 +216,58 @@ func runReplay(path string, registry *instrument.Registry, downloadsPath string,
 	if err != nil {
 		return err
 	}
+	deep, err := verifyDeepScan(recorded, depth, logger)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("replay verified: %d events deterministic (%d notifies, %d hooks, %d forgets)\n",
 		len(journal.CanonStream(recorded)), stats.Notifies, stats.Hooks, stats.Forgets)
 	if routed > 0 {
 		fmt.Printf("triage verified: %d statically routed document(s) consistent with their verdicts\n", routed)
 	}
+	if deep > 0 {
+		fmt.Printf("deep-scan verified: %d forced-execution record(s) consistent with their verdicts\n", deep)
+	}
 	return nil
+}
+
+// verifyDeepScan cross-checks the recording's forced-execution records:
+// every deep-scan event must report at least one explored path (the
+// natural path always runs) and belong to a document that reached a
+// verdict. Deep-scan events are non-canonical — replay determinism never
+// depends on them — so this is a consistency check, not a diff. With
+// -depth deep the recording must actually contain such records (every
+// opened document gets one at that depth); auto may legitimately have
+// none when no document routed uncertain.
+func verifyDeepScan(recorded []journal.Event, depth pipeline.Depth, logger *slog.Logger) (int, error) {
+	verdicts := make(map[string]bool)
+	for _, e := range recorded {
+		if e.T == journal.TypeVerdict {
+			verdicts[e.DocID] = true
+		}
+	}
+	n, bad := 0, 0
+	for _, e := range recorded {
+		if e.T != journal.TypeDeepScan || e.DeepScan == nil {
+			continue
+		}
+		n++
+		if e.DeepScan.Paths < 1 {
+			logger.Error("deep-scan inconsistency", "doc", e.DocID, "problem", "zero explored paths")
+			bad++
+		}
+		if !verdicts[e.DocID] {
+			logger.Error("deep-scan inconsistency", "doc", e.DocID, "problem", "no verdict recorded")
+			bad++
+		}
+	}
+	if bad > 0 {
+		return n, fmt.Errorf("deep-scan records inconsistent in %d place(s)", bad)
+	}
+	if n == 0 && depth == pipeline.DepthDeep {
+		return 0, fmt.Errorf("-depth deep: recording contains no deep-scan records")
+	}
+	return n, nil
 }
 
 // verifyTriage cross-checks the recording's static triage tier against its

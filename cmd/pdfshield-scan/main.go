@@ -12,7 +12,8 @@
 //
 // Usage:
 //
-//	pdfshield-scan [-analyze] [-triage] [-out instrumented.pdf] [-spec spec.json]
+//	pdfshield-scan [-analyze] [-depth static|standard|deep|auto] [-triage]
+//	               [-out instrumented.pdf] [-spec spec.json]
 //	               [-registry registry.json] [-endpoint url]
 //	               [-workers N] [-cache] [-cache-entries N]
 //	               [-cache-bytes N] [-cache-ttl d] [-metrics-addr host:port]
@@ -44,6 +45,7 @@ import (
 	"pdfshield/internal/instrument"
 	"pdfshield/internal/journal"
 	"pdfshield/internal/obs"
+	"pdfshield/internal/pipeline"
 	"pdfshield/internal/triage"
 )
 
@@ -67,7 +69,8 @@ func run() error {
 	cacheBytes := flag.Int64("cache-bytes", 0, "cache byte cap (0 = default, negative = unlimited)")
 	cacheTTL := flag.Duration("cache-ttl", 0, "cache entry time-to-live (0 = never expires)")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus text metrics on this address (/metrics, plus expvar on /debug/vars); empty = off")
-	useTriage := flag.Bool("triage", false, "report the static triage route (benign/malicious/uncertain) per input")
+	depthFlag := flag.String("depth", "", "scan depth: static|standard|deep|auto (same vocabulary as the pipeline commands; static and auto include the triage report)")
+	useTriage := flag.Bool("triage", false, "deprecated: use -depth static|auto; report the static triage route per input")
 	logOpts := cli.RegisterLogFlags(flag.CommandLine)
 	jOpts := cli.RegisterJournalFlags(flag.CommandLine, "pdfshield-scan")
 	flag.Parse()
@@ -76,6 +79,16 @@ func run() error {
 	if err != nil {
 		return err
 	}
+
+	// The front-end never opens a sandbox, so depth only selects the
+	// static stages here: the depths with a triage tier turn the triage
+	// report on. Parsing through the pipeline keeps the vocabulary (and
+	// the error for a typo'd depth) identical across all four commands.
+	depth, err := pipeline.ParseDepth(*depthFlag)
+	if err != nil {
+		return err
+	}
+	triageReport := *useTriage || depth == pipeline.DepthStatic || depth == pipeline.DepthAuto
 
 	if flag.NArg() < 1 {
 		flag.Usage()
@@ -154,7 +167,7 @@ func run() error {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				reports[i], errs[i] = scanFile(inputs[i], ins, fc, jw, *analyzeOnly, *useTriage, *outPath, *specPath)
+				reports[i], errs[i] = scanFile(inputs[i], ins, fc, jw, *analyzeOnly, triageReport, *outPath, *specPath)
 			}
 		}()
 	}

@@ -1,5 +1,5 @@
 // Command pdfshield-serve is the HTTP ingestion daemon: it accepts PDF
-// submissions over POST /scan (body = the raw PDF bytes) and answers the
+// submissions over POST /v1/scan (body = the raw PDF bytes) and answers the
 // pipeline's verdict as JSON, with the document's trace and journal
 // correlation IDs. The daemon fronts the pipeline with admission control:
 // a bounded queue whose overflow answers 429 + Retry-After, per-tenant
@@ -10,9 +10,17 @@
 //
 // SIGINT/SIGTERM drain the daemon: the listener stops accepting,
 // in-flight documents finish under -drain-timeout, and the forensic
-// journal is flushed before exit. /healthz answers 503 while draining so
-// load balancers rotate the node out; /metrics and /debug/vars serve the
-// live registry on the same listener.
+// journal is flushed before exit. /v1/healthz answers 503 while draining
+// so load balancers rotate the node out; /v1/metrics and /debug/vars
+// serve the live registry on the same listener. The pre-versioning paths
+// (/scan, /healthz, /metrics) answer 308 redirects with a Deprecation
+// header for one release.
+//
+// -depth selects the scan tier: "static" (triage only, no sandbox),
+// "standard" (the default dynamic open), "deep" (forced execution on
+// every open) or "auto" (triage plus forced execution for uncertain
+// documents). -triage is a deprecated alias for the pre-redesign
+// triage-plus-standard configuration.
 //
 // Usage:
 //
@@ -21,7 +29,7 @@
 //	                [-tenant-rate R] [-tenant-burst N]
 //	                [-peers a:1,b:2] [-self a:1]
 //	                [-cache] [-cache-entries N] [-cache-bytes N] [-cache-ttl d]
-//	                [-triage]
+//	                [-depth static|standard|deep|auto] [-triage]
 //	                [-seed N] [-journal events.jsonl] [-log-level info]
 //
 // Load generator (capacity measurement against a running daemon):
@@ -77,7 +85,8 @@ func run() error {
 	cacheBytes := flag.Int64("cache-bytes", 0, "cache byte cap (0 = default, negative = unlimited)")
 	cacheTTL := flag.Duration("cache-ttl", 0, "cache entry time-to-live (0 = never expires)")
 	seed := flag.Int64("seed", 0, "instrumentation randomization seed (0 = time-based)")
-	useTriage := flag.Bool("triage", false, "static triage tier: confident documents skip the reader sandbox (fail-safe routing)")
+	depthFlag := flag.String("depth", "", "scan depth: static|standard|deep|auto (empty = standard; auto adds forced-execution deep scans for triage-uncertain documents)")
+	useTriage := flag.Bool("triage", false, "deprecated: use -depth static|auto; static triage tier routing confident documents around the sandbox")
 
 	load := flag.Bool("load", false, "run the load generator against -target instead of serving")
 	target := flag.String("target", "", "load: base URL of the running daemon (http://host:port)")
@@ -153,7 +162,14 @@ func run() error {
 			TTL:        *cacheTTL,
 		}
 	}
-	if *useTriage {
+	depth, err := pipeline.ParseDepth(*depthFlag)
+	if err != nil {
+		return err
+	}
+	cfg.Pipeline.Depth = depth
+	if *useTriage && depth == "" {
+		// Deprecated alias for one release: -triage without -depth keeps
+		// its pre-redesign meaning (triage in front of a standard scan).
 		cfg.Pipeline.Triage = &triage.Config{}
 	}
 

@@ -61,7 +61,9 @@ func TestServeSmoke(t *testing.T) {
 		logbuf bytes.Buffer
 	)
 	addrCh := make(chan string, 1)
+	scanDone := make(chan struct{})
 	go func() {
+		defer close(scanDone)
 		sc := bufio.NewScanner(stderr)
 		for sc.Scan() {
 			line := sc.Text()
@@ -86,7 +88,7 @@ func TestServeSmoke(t *testing.T) {
 	// Scan a benign corpus document.
 	g := corpus.NewGenerator(4242)
 	doc := g.BenignFormJS()
-	req, err := http.NewRequest(http.MethodPost, "http://"+addr+"/scan", bytes.NewReader(doc.Raw))
+	req, err := http.NewRequest(http.MethodPost, "http://"+addr+"/v1/scan", bytes.NewReader(doc.Raw))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +117,7 @@ func TestServeSmoke(t *testing.T) {
 		t.Error("verdict missing journal_session correlation key")
 	}
 
-	hr, err := http.Get("http://" + addr + "/healthz")
+	hr, err := http.Get("http://" + addr + "/v1/healthz")
 	if err != nil {
 		t.Fatalf("healthz: %v", err)
 	}
@@ -125,9 +127,16 @@ func TestServeSmoke(t *testing.T) {
 		t.Errorf("healthz status %d, want 200", hr.StatusCode)
 	}
 
-	// Clean drain on SIGTERM.
+	// Clean drain on SIGTERM. All stderr reads must complete before
+	// cmd.Wait (Wait closes the pipe), so wait for the scanner's EOF —
+	// which also guarantees the final "drained" line is in logbuf.
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		t.Fatalf("SIGTERM: %v", err)
+	}
+	select {
+	case <-scanDone:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon stderr never reached EOF after SIGTERM\n%s", readLog(&mu, &logbuf))
 	}
 	done := make(chan error, 1)
 	go func() { done <- cmd.Wait() }()

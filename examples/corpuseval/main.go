@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -37,7 +38,7 @@ func main() {
 
 	fp, tn := 0, 0
 	for _, s := range g.BenignWithJS(*n) {
-		v, err := sysBenign.ProcessDocument(s.ID, s.Raw)
+		v, err := sysBenign.ProcessDocumentContext(context.Background(), s.ID, s.Raw)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -53,7 +54,7 @@ func main() {
 	stats := map[string]*famStat{}
 	tp, fn, noise := 0, 0, 0
 	for _, s := range g.MaliciousBatch(*n) {
-		v, err := sysMal.ProcessDocument(s.ID, s.Raw)
+		v, err := sysMal.ProcessDocumentContext(context.Background(), s.ID, s.Raw)
 		if err != nil {
 			log.Fatal(err)
 		}

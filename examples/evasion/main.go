@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -47,7 +48,7 @@ func main() {
 	defer func() { _ = sys2.Close() }()
 	// The attacker picks one of the candidates — odds are it is a decoy.
 	forged := attack.ForgedExitScript("http://127.0.0.1:1/ctx", candidates[len(candidates)-1], "var y=2;")
-	v, err := sys2.ProcessDocument("forger", singleScriptDoc(forged))
+	v, err := sys2.ProcessDocumentContext(context.Background(), "forger", singleScriptDoc(forged))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func main() {
 		}
 		fmt.Printf("    %-10s classifies the mimic as malicious: %v\n", name, caught)
 	}
-	v, err = sys.ProcessDocument(mimic.ID, mimic.Raw)
+	v, err = sys.ProcessDocumentContext(context.Background(), mimic.ID, mimic.Raw)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -36,7 +37,7 @@ func main() {
 		}
 		fmt.Printf("    static features: %s\n", static)
 
-		verdict, err := sys.ProcessDocument(sample.ID, sample.Raw)
+		verdict, err := sys.ProcessDocumentContext(context.Background(), sample.ID, sample.Raw)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -52,6 +53,6 @@ func main() {
 		}
 	}
 
-	fmt.Printf("\ntotal quarantined artifacts: %d\n", sys.QuarantinedCount())
+	fmt.Printf("\ntotal quarantined artifacts: %d\n", sys.Stats().Quarantined)
 	fmt.Println(pdfshield.Version)
 }

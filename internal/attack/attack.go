@@ -120,6 +120,20 @@ func MimicrySample(seed int64) corpus.Sample {
 	}
 }
 
+// EvasiveSample builds a delayed-detonation adversary: a working
+// exploit whose trigger hides behind a gate that evaluates false in any
+// single-execution sandbox (a time bomb, a locale fingerprint, or an
+// emulation check — see corpus.EvasiveKinds for the names). Opened at
+// standard depth the document does nothing observable and is classified
+// benign; a forced-execution deep scan explores the closed arm of the
+// gate and catches the payload. ok is false for an unknown kind.
+func EvasiveSample(kind string, seed int64) (corpus.Sample, bool) {
+	return corpus.NewGenerator(seed).Evasive(kind)
+}
+
+// EvasiveKinds lists the gated-family names EvasiveSample accepts.
+func EvasiveKinds() []string { return corpus.EvasiveKinds() }
+
 func extractFirstScript(raw []byte) string {
 	doc, err := pdf.Parse(raw, pdf.ParseOptions{})
 	if err != nil {

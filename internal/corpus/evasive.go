@@ -1,0 +1,107 @@
+package corpus
+
+import "pdfshield/internal/reader"
+
+// Evasive samples are working exploits hidden behind execution gates
+// that evaluate false inside any single-execution sandbox: time bombs,
+// environment fingerprints and emulation checks (the §II delayed-
+// trigger population). Opened naturally they do nothing observable —
+// the gate stays closed, no runtime feature fires, and a standard scan
+// classifies them benign. A forced-execution deep scan explores the
+// closed arm of the gate and detonates the payload.
+//
+// They live outside the weighted Malicious() mix so the corpus
+// statistics of the base evaluation (family frequencies, Table VI
+// obfuscation rates) stay untouched.
+
+// evasiveFamily is one gating technique wrapped around a working
+// in-JS exploit.
+type evasiveFamily struct {
+	Name string
+	// CVE selects the vulnerable API the hidden payload triggers.
+	CVE string
+	// Gate wraps the exploit body in the dormancy check.
+	Gate func(g *Generator, body string) string
+}
+
+var evasiveFamilies = []evasiveFamily{
+	{
+		// Time bomb: detonates only after a future date. Analysis
+		// sandboxes (including this one — the simulated clock is frozen
+		// in 2013) observe a dormant document.
+		Name: "mal-timebomb",
+		CVE:  reader.CVE20082992,
+		Gate: func(g *Generator, body string) string {
+			v := varNamer(g.rng)("d")
+			return "var " + v + " = new Date();\n" +
+				"if (" + v + ".getFullYear() >= 2015) {\n" + body + "\n}"
+		},
+	},
+	{
+		// Environment fingerprint: the exploit targets one victim
+		// locale and stays dormant everywhere else — the classic
+		// targeted-attack gate a generic sandbox never satisfies.
+		Name: "mal-envgate",
+		CVE:  reader.CVE20090927,
+		Gate: func(g *Generator, body string) string {
+			return `if (app.language == "CHS" && app.platform == "WIN") {` + "\n" + body + "\n}"
+		},
+	},
+	{
+		// Emulation check: real hosts tick between two clock reads;
+		// instrumented analysis environments commonly freeze time. A
+		// zero elapsed reading means "I am being watched" and the
+		// sample plays dead.
+		Name: "mal-emucheck",
+		CVE:  reader.CVE20094324,
+		Gate: func(g *Generator, body string) string {
+			v := varNamer(g.rng)
+			t0, t1, wv, iv := v("t"), v("u"), v("w"), v("i")
+			return "var " + t0 + " = new Date().getTime();\n" +
+				"var " + wv + " = 0;\n" +
+				"for (var " + iv + " = 0; " + iv + " < 5000; " + iv + "++) " + wv + " += " + iv + ";\n" +
+				"var " + t1 + " = new Date().getTime();\n" +
+				"if (" + t1 + " - " + t0 + " > 0) {\n" + body + "\n}"
+		},
+	},
+}
+
+// EvasiveKinds lists the gated-family names.
+func EvasiveKinds() []string {
+	out := make([]string, len(evasiveFamilies))
+	for i, f := range evasiveFamilies {
+		out[i] = f.Name
+	}
+	return out
+}
+
+// Evasive builds one sample from a named gated family. The Outcome is
+// OutcomeNoop: on a natural (standard-depth) open the gate never opens
+// and the document does nothing.
+func (g *Generator) Evasive(name string) (Sample, bool) {
+	for _, f := range evasiveFamilies {
+		if f.Name != name {
+			continue
+		}
+		body := sprayJS(g.rng, payloadFor(g.rng), sprayMBFor(g.rng, f.CVE, true)) + "\n" + triggerJS(g.rng, f.CVE)
+		spec := docSpec{
+			scripts:        []string{f.Gate(g, body)},
+			pages:          1,
+			scriptAsStream: true,
+			encodingLevels: 1,
+		}
+		raw, err := buildDoc(g.rng, spec)
+		if err != nil {
+			panic("corpus: " + f.Name + ": " + err.Error())
+		}
+		return Sample{
+			ID:      g.id(f.Name),
+			Raw:     raw,
+			Label:   LabelMalicious,
+			Family:  f.Name,
+			HasJS:   true,
+			Outcome: OutcomeNoop,
+		}, true
+	}
+	return Sample{}, false
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 
@@ -103,7 +104,7 @@ func TableIX(cfg Config, ours Accuracy) Result {
 		for i, raw := range mimics {
 			docs[i] = pipeline.BatchDoc{ID: fmt.Sprintf("mimic-%d", i), Raw: raw}
 		}
-		for _, v := range sys.ProcessBatch(docs, pipeline.BatchOptions{Workers: cfg.workers()}).Verdicts {
+		for _, v := range sys.ProcessBatchContext(context.Background(), docs, pipeline.BatchOptions{Workers: cfg.workers()}).Verdicts {
 			if v != nil && v.Malicious {
 				oursMimic++
 			}
@@ -241,7 +242,7 @@ func SecurityAnalysis(cfg Config) Result {
 	if err == nil {
 		forged := attack.ForgedExitScript(sys.Detector.SOAPURL(),
 			sys.Registry.DetectorID()+":deadbeefdeadbeefdeadbeef", "var y = 2;")
-		v, perr := sys.ProcessDocument("forger", buildSingleScriptDoc(forged))
+		v, perr := sys.ProcessDocumentContext(context.Background(), "forger", buildSingleScriptDoc(forged))
 		if perr == nil && v.Malicious && v.Alert.Reason == "fake-message" {
 			fakeOutcome = "detected immediately (alert reason: fake-message)"
 		} else if perr == nil {
@@ -274,7 +275,7 @@ func SecurityAnalysis(cfg Config) Result {
 		outcome := "error"
 		sys, err := pipeline.NewSystem(pipeline.Options{ViewerVersion: 8.0, Seed: cfg.seed() + 15})
 		if err == nil {
-			v, perr := sys.ProcessDocument(s.ID, s.Raw)
+			v, perr := sys.ProcessDocumentContext(context.Background(), s.ID, s.Raw)
 			switch {
 			case perr != nil:
 				outcome = "error: " + perr.Error()

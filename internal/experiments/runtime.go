@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -225,7 +226,7 @@ func batchVerdicts(sys *pipeline.System, samples []corpus.Sample, workers int) [
 	for i, s := range samples {
 		docs[i] = pipeline.BatchDoc{ID: s.ID, Raw: s.Raw}
 	}
-	res := sys.ProcessBatch(docs, pipeline.BatchOptions{Workers: workers})
+	res := sys.ProcessBatchContext(context.Background(), docs, pipeline.BatchOptions{Workers: workers})
 	out := make([]*pipeline.Verdict, 0, len(samples))
 	for _, v := range res.Verdicts {
 		if v != nil {

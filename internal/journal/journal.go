@@ -76,6 +76,13 @@ const (
 	// consistency of routed documents is checked separately
 	// (`pdfshield-detect -replay`).
 	TypeTriage = "triage"
+	// TypeDeepScan is the forced-execution deep-scan summary for one
+	// document open: how many paths were explored, how many died on a
+	// recovered crash, and whether a budget cut exploration short.
+	// Pipeline-origin and non-canonical like TypeTriage: the detector
+	// events the forced paths produced are the replayable record; this
+	// event explains where they came from.
+	TypeDeepScan = "deepscan"
 	// TypeDocOpen marks a document entering the pipeline.
 	TypeDocOpen = "doc-open"
 	// TypeVerdict is the pipeline's final per-document outcome.
@@ -180,6 +187,18 @@ type Triage struct {
 	Scripts int `json:"scripts"`
 }
 
+// DeepScan is the payload of TypeDeepScan events: per-open forced-
+// execution accounting.
+type DeepScan struct {
+	// Paths is the total explored path count (natural paths included).
+	Paths int `json:"paths"`
+	// CrashedPaths counts forced paths abandoned on a recovered crash.
+	CrashedPaths int `json:"crashed_paths,omitempty"`
+	// BudgetExhausted counts scripts whose exploration hit a path, step,
+	// or decision budget.
+	BudgetExhausted int `json:"budget_exhausted,omitempty"`
+}
+
 // Verdict is the payload of TypeVerdict events.
 type Verdict struct {
 	Malicious    bool   `json:"malicious"`
@@ -215,13 +234,14 @@ type Event struct {
 	// Cause carries error text (fake-message validation failure).
 	Cause string `json:"cause,omitempty"`
 
-	Ctx     *Ctx     `json:"ctx,omitempty"`
-	Hook    *Hook    `json:"hook,omitempty"`
-	Feature *Feature `json:"feature,omitempty"`
-	Confine *Confine `json:"confine,omitempty"`
-	Alert   *Alert   `json:"alert,omitempty"`
-	Triage  *Triage  `json:"triage,omitempty"`
-	Verdict *Verdict `json:"verdict,omitempty"`
+	Ctx      *Ctx      `json:"ctx,omitempty"`
+	Hook     *Hook     `json:"hook,omitempty"`
+	Feature  *Feature  `json:"feature,omitempty"`
+	Confine  *Confine  `json:"confine,omitempty"`
+	Alert    *Alert    `json:"alert,omitempty"`
+	Triage   *Triage   `json:"triage,omitempty"`
+	DeepScan *DeepScan `json:"deepscan,omitempty"`
+	Verdict  *Verdict  `json:"verdict,omitempty"`
 }
 
 // Options configures a Writer.

@@ -186,6 +186,13 @@ type instr struct {
 	cost int32
 }
 
+// jumpForceEligible, set as the b operand of opJumpIfFalse/opJumpIfTrue,
+// marks a conditional jump whose outcome forced execution may override:
+// if/else and ternary decisions. Loop back-edges, switch dispatch, and
+// &&/|| short-circuits never carry it, so decryptor loops cannot burn the
+// path-exploration budget (forced.go).
+const jumpForceEligible = 1
+
 // handlerDef is the static description of one try statement.
 type handlerDef struct {
 	// catchPC is the catch body entry (-1 when absent).

@@ -270,7 +270,7 @@ func (a *asm) valued(st Stmt) {
 		}
 	case *IfStmt:
 		a.expr(s.Cond)
-		jf := a.emit(opJumpIfFalse, 0, 0)
+		jf := a.emit(opJumpIfFalse, 0, jumpForceEligible)
 		a.pop(1)
 		a.valued(s.Then)
 		a.pop(1) // rebalance: both branches push exactly one value
@@ -319,8 +319,10 @@ func (a *asm) stmtBody(st Stmt) {
 		a.emit(opPop, 0, 0)
 		a.pop(1)
 	case *IfStmt:
+		// The b operand marks the jump force-eligible: forced execution may
+		// override if/else decisions but never loop back-edges (see forced.go).
 		a.expr(s.Cond)
-		jf := a.emit(opJumpIfFalse, 0, 0)
+		jf := a.emit(opJumpIfFalse, 0, jumpForceEligible)
 		a.pop(1)
 		a.stmt(s.Then)
 		if s.Else != nil {
@@ -660,7 +662,7 @@ func (a *asm) expr(e Expr) {
 		a.patch(j, a.pc())
 	case *CondExpr:
 		a.expr(x.Cond)
-		jf := a.emit(opJumpIfFalse, 0, 0)
+		jf := a.emit(opJumpIfFalse, 0, jumpForceEligible)
 		a.pop(1)
 		a.expr(x.Then)
 		a.pop(1)

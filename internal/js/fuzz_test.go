@@ -38,3 +38,43 @@ func FuzzJSInterp(f *testing.F) {
 		_ = ToDisplay(v)
 	})
 }
+
+// FuzzForcedExec explores arbitrary source with the forced-execution
+// engine under tight budgets. The deep-scan tier feeds hostile scripts to
+// ExploreForced verbatim, so the invariants are containment plus state
+// hygiene: whatever the script does — crash, throw, exhaust a budget —
+// the explorer must not panic, must terminate within its path bounds, and
+// must leave the interpreter's forcing state fully unwound so the
+// recycled session's next document starts clean.
+func FuzzForcedExec(f *testing.F) {
+	seeds := []string{
+		`if (false) { var a = 1; } else { var a = 2; }`,
+		`var d = new Date(); if (d.getFullYear() >= 2015) { var x = "armed"; }`,
+		`for (var i = 0; i < 20; i++) { if (i % 3) { i += 1; } }`,
+		`var t = true ? (false ? 1 : 2) : 3;`,
+		`function g(n){ if (n > 0) { return g(n-1); } return 0; } g(4);`,
+		`try { if (false) { null.x; } } catch (e) { var c = e; }`,
+		`var s = ""; if (s) { while (true) {} }`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 32<<10 {
+			return
+		}
+		it := New()
+		it.StepLimit = 100_000
+		it.MaxHeap = 8 << 20
+		res := it.ExploreForced(ForceConfig{MaxPaths: 8, MaxDecisions: 16, PathSteps: 100_000}, func() error {
+			_, err := it.Run(src)
+			return err
+		})
+		if res.Paths < 1 {
+			t.Fatalf("explorer reported %d paths; the natural path always runs", res.Paths)
+		}
+		if it.Force != nil {
+			t.Fatal("forcing state leaked out of ExploreForced")
+		}
+	})
+}

@@ -129,6 +129,12 @@ type Interp struct {
 	// TreeWalk forces the recursive evaluator instead of the bytecode VM.
 	// The differential harness uses it; production opens leave it false.
 	TreeWalk bool
+	// Force, when non-nil, intercepts force-eligible conditional branches
+	// in the bytecode VM (if/else and ternaries; never loop back-edges):
+	// each decision consults the ForceState, which may override the
+	// natural outcome to steer execution down an unexplored arm. Set by
+	// ExploreForced; the tree-walker ignores it.
+	Force *ForceState
 	// Units overrides the compiled-unit cache (nil = DefaultUnits).
 	Units *UnitCache
 

@@ -415,12 +415,20 @@ func runFrame(it *Interp, f *vmFrame) vmComp {
 			f.pc = int(in.a)
 		case opJumpIfFalse:
 			f.sp--
-			if !f.stack[f.sp].ToBoolean() {
+			cond := f.stack[f.sp].ToBoolean()
+			if in.b == jumpForceEligible && it.Force != nil {
+				cond = it.Force.next(cond)
+			}
+			if !cond {
 				f.pc = int(in.a)
 			}
 		case opJumpIfTrue:
 			f.sp--
-			if f.stack[f.sp].ToBoolean() {
+			cond := f.stack[f.sp].ToBoolean()
+			if in.b == jumpForceEligible && it.Force != nil {
+				cond = it.Force.next(cond)
+			}
+			if cond {
 				f.pc = int(in.a)
 			}
 		case opJumpIfFalsePeek:

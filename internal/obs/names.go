@@ -75,6 +75,16 @@ const (
 	MetricTriageRoutes  = "pdfshield_triage_routes_total"
 	MetricTriageSeconds = "pdfshield_triage_seconds"
 
+	// Forced-execution deep-scan series (internal/pipeline over
+	// internal/js ExploreForced). Paths counts every explored path
+	// (natural ones included); the histogram observes the whole deep open
+	// (reader open with forced execution active); the budget counter
+	// counts scripts whose exploration a path/step/decision budget cut
+	// short.
+	MetricDeepScanPaths   = "pdfshield_deepscan_paths_total"
+	MetricDeepScanSeconds = "pdfshield_deepscan_seconds"
+	MetricDeepScanBudget  = "pdfshield_deepscan_budget_exhausted_total"
+
 	// Bytecode JS engine series (internal/js). The histogram observes each
 	// compile performed on a unit-cache miss; the counters/gauges are
 	// callback-backed from js.UnitCache.Stats (see pipeline's System wiring).

@@ -29,6 +29,10 @@ type BatchOptions struct {
 	// is recycled between documents instead of redialled. Zero or negative
 	// means runtime.NumCPU().
 	Workers int
+	// Depth overrides the system-wide scan depth for this batch (empty =
+	// inherit Options.Depth / the legacy resolution). An unknown value
+	// fails the whole batch: every slot carries the parse error.
+	Depth Depth
 }
 
 // BatchResult collects the outcome of a ProcessBatch run. Both slices are
@@ -86,7 +90,7 @@ func (s *System) ProcessBatch(docs []BatchDoc, opts BatchOptions) *BatchResult {
 // so concurrent documents cannot cross-contaminate feature vectors. Each
 // document still runs in a logically fresh reader process (Session.Recycle
 // restarts the process between documents), so per-document verdicts match
-// serial ProcessDocument runs.
+// serial ProcessDocumentContext runs.
 //
 // Cancellation: once ctx ends, no further document is dispatched and
 // workers skip any job already queued to them; documents completed before
@@ -107,6 +111,12 @@ func (s *System) ProcessBatchContext(ctx context.Context, docs []BatchDoc, opts 
 		}
 	}()
 	if len(docs) == 0 {
+		return out
+	}
+	if _, err := ParseDepth(string(opts.Depth)); err != nil {
+		for i := range out.Errors {
+			out.Errors[i] = err
+		}
 		return out
 	}
 	workers := opts.Workers
@@ -142,7 +152,7 @@ func (s *System) ProcessBatchContext(ctx context.Context, docs []BatchDoc, opts 
 				out.Errors[i] = err
 				continue
 			}
-			out.Verdicts[i], out.Errors[i] = s.processWithSession(ctx, &sess, docs[i])
+			out.Verdicts[i], out.Errors[i] = s.processWithSession(ctx, &sess, docs[i], opts.Depth)
 		}
 		return out
 	}
@@ -166,7 +176,7 @@ func (s *System) ProcessBatchContext(ctx context.Context, docs []BatchDoc, opts 
 					out.Errors[i] = err
 					continue
 				}
-				out.Verdicts[i], out.Errors[i] = s.processWithSession(ctx, &sess, docs[i])
+				out.Verdicts[i], out.Errors[i] = s.processWithSession(ctx, &sess, docs[i], opts.Depth)
 			}
 		}()
 	}
@@ -201,7 +211,7 @@ dispatch:
 // the worker records a fail-closed error, throws away its session (the reader
 // process may be mid-open with arbitrary state), and keeps draining the
 // batch. The other documents' verdicts are unaffected.
-func (s *System) processWithSession(ctx context.Context, sess **Session, doc BatchDoc) (v *Verdict, err error) {
+func (s *System) processWithSession(ctx context.Context, sess **Session, doc BatchDoc, depth Depth) (v *Verdict, err error) {
 	start := time.Now()
 	tr := obs.StartTrace(doc.ID)
 	s.journalDocOpen(doc.ID, len(doc.Raw))
@@ -219,16 +229,17 @@ func (s *System) processWithSession(ctx context.Context, sess **Session, doc Bat
 	res, err := s.frontEndBatch(ctx, doc, tr)
 	if err != nil {
 		if errors.Is(err, instrument.ErrNoJavaScript) {
-			return &Verdict{DocID: doc.ID, NoJavaScript: true, Instrument: res}, nil
+			return &Verdict{DocID: doc.ID, NoJavaScript: true, Instrument: res, Depth: string(s.depthProfile(depth).depth)}, nil
 		}
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	td := s.runTriage(doc.ID, doc.Raw, res, tr)
-	if td != nil && td.Route != triage.RouteUncertain {
-		return s.verdictFromTriage(doc.ID, res, td), nil
+	prof := s.depthProfile(depth)
+	td := s.runTriage(doc.ID, doc.Raw, res, tr, prof.triage)
+	if td != nil && (prof.staticOnly || td.Route != triage.RouteUncertain) {
+		return s.verdictFromTriage(doc.ID, res, td, prof), nil
 	}
 	if *sess == nil {
 		ns, err := s.NewSession()
@@ -239,7 +250,7 @@ func (s *System) processWithSession(ctx context.Context, sess **Session, doc Bat
 	} else {
 		(*sess).Recycle()
 	}
-	v, err = s.openAndJudge(ctx, *sess, res, tr)
+	v, err = s.openAndJudge(ctx, *sess, res, tr, prof)
 	claimVerdict(v, doc.ID)
 	annotateTriage(v, td)
 	return v, err

@@ -1,0 +1,139 @@
+package pipeline
+
+import (
+	"fmt"
+	"time"
+
+	"pdfshield/internal/instrument"
+	"pdfshield/internal/journal"
+	"pdfshield/internal/js"
+	"pdfshield/internal/obs"
+	"pdfshield/internal/reader"
+	"pdfshield/internal/triage"
+)
+
+// Depth selects how hard one submission is scanned. It is the single
+// depth-axis knob of the pipeline, replacing the accreted per-tier
+// toggles (the deprecated Options.Triage field keeps working as an
+// alias for one release; see Options).
+type Depth string
+
+const (
+	// DepthStatic runs the static triage tier only: every submission gets
+	// a verdict from the census scorer and no reader session is ever
+	// created — uncertain documents are scored on their static signals
+	// instead of escalating. The cheapest tier, for pre-filter passes.
+	DepthStatic Depth = "static"
+	// DepthStandard is the classic single-execution dynamic scan: each
+	// document opens once in a monitored reader and the detector judges
+	// the natural execution path. The deprecated Triage option still
+	// short-circuits confident documents when set.
+	DepthStandard Depth = "standard"
+	// DepthDeep forces execution of every document: conditional branches
+	// are explored on both arms (bounded by Options.DeepScan), runtime
+	// features are unioned across all explored paths, and triage is
+	// bypassed so nothing is judged on static evidence alone.
+	DepthDeep Depth = "deep"
+	// DepthAuto routes by triage: confident documents are judged
+	// statically, and everything uncertain escalates straight to a
+	// forced-execution deep scan. The recommended production setting —
+	// deep-scan cost is paid only where static analysis is blind.
+	DepthAuto Depth = "auto"
+)
+
+// ParseDepth validates a depth name from a flag or request field. The
+// empty string is accepted and means "unset" (the system default
+// resolution applies).
+func ParseDepth(s string) (Depth, error) {
+	switch d := Depth(s); d {
+	case "", DepthStatic, DepthStandard, DepthDeep, DepthAuto:
+		return d, nil
+	default:
+		return "", fmt.Errorf("unknown scan depth %q (want static, standard, deep or auto)", s)
+	}
+}
+
+// Valid reports whether d is one of the four named depths.
+func (d Depth) Valid() bool {
+	switch d {
+	case DepthStatic, DepthStandard, DepthDeep, DepthAuto:
+		return true
+	}
+	return false
+}
+
+func (d Depth) String() string { return string(d) }
+
+// depthProfile is one submission's resolved scan plan: which triage
+// config gates the open (nil = no triage), whether the verdict must be
+// synthesized statically, and which forced-execution bounds apply to
+// the reader open (nil = natural single execution).
+type depthProfile struct {
+	depth      Depth
+	triage     *triage.Config
+	staticOnly bool
+	force      *js.ForceConfig
+}
+
+// depthProfile resolves the effective scan plan for one submission.
+// override (from BatchOptions or a serve request) wins over the
+// system-wide Options.Depth; when both are unset the legacy resolution
+// applies: the deprecated Options.Triage field selects triage+standard,
+// otherwise plain standard.
+func (s *System) depthProfile(override Depth) depthProfile {
+	d := override
+	if d == "" {
+		d = s.opts.Depth
+	}
+	switch d {
+	case DepthStatic:
+		return depthProfile{depth: DepthStatic, triage: s.triageConfig(), staticOnly: true}
+	case DepthDeep:
+		f := s.opts.DeepScan
+		return depthProfile{depth: DepthDeep, force: &f}
+	case DepthAuto:
+		f := s.opts.DeepScan
+		return depthProfile{depth: DepthAuto, triage: s.triageConfig(), force: &f}
+	default:
+		// DepthStandard, and the unset legacy default (which honours the
+		// deprecated Triage field).
+		return depthProfile{depth: DepthStandard, triage: s.opts.Triage}
+	}
+}
+
+// triageConfig returns the triage configuration for depths that require
+// the tier: the deprecated Options.Triage when set (so existing tuning
+// carries over), else the zero production default.
+func (s *System) triageConfig() *triage.Config {
+	if s.opts.Triage != nil {
+		return s.opts.Triage
+	}
+	return &triage.Config{}
+}
+
+// recordDeepScan publishes one deep open's forced-execution accounting:
+// the path counter, the whole-open latency histogram, the
+// budget-exhausted counter, and the (non-canonical) journal event.
+func (s *System) recordDeepScan(docID string, res *instrument.Result, open *reader.OpenResult, dur time.Duration) {
+	if open == nil {
+		return
+	}
+	s.Obs.CounterAdd(obs.MetricDeepScanPaths, uint64(open.DeepPaths))
+	s.Obs.Observe(obs.MetricDeepScanSeconds, dur)
+	if open.DeepBudgetExhausted > 0 {
+		s.Obs.CounterAdd(obs.MetricDeepScanBudget, uint64(open.DeepBudgetExhausted))
+	}
+	if s.opts.Journal == nil {
+		return
+	}
+	e := journal.Event{T: journal.TypeDeepScan, DocID: docID}
+	if res != nil {
+		e.Key = res.Key.InstrKey
+	}
+	e.DeepScan = &journal.DeepScan{
+		Paths:           open.DeepPaths,
+		CrashedPaths:    open.DeepCrashedPaths,
+		BudgetExhausted: open.DeepBudgetExhausted,
+	}
+	s.opts.Journal.Append(e)
+}

@@ -68,12 +68,29 @@ type Options struct {
 	// tree-walking engine instead of the bytecode VM (engine A/B
 	// benchmarking; verdicts are identical on both engines).
 	TreeWalkJS bool
+	// Depth is the system-wide scan depth (see the Depth constants).
+	// Empty means unset: the legacy resolution applies, where the
+	// deprecated Triage field selects triage-gated standard scanning and
+	// everything else runs plain DepthStandard. BatchOptions.Depth
+	// overrides this per batch.
+	Depth Depth
+	// DeepScan bounds the forced-execution explorer used by DepthDeep and
+	// DepthAuto (zero fields = js.DefaultForce* defaults). Ignored at
+	// other depths.
+	DeepScan js.ForceConfig
 	// Triage enables the static fast-path tier between the front-end and
 	// the reader session (nil = off, every document opens dynamically).
 	// Confident-benign documents skip the sandbox, confident-malicious
 	// documents are convicted without ever being opened, and everything
 	// else ("uncertain") falls through to the full dynamic open
 	// unchanged. The zero triage.Config is the production default.
+	//
+	// Deprecated: set Depth instead (DepthAuto routes by triage and
+	// escalates uncertain documents to a deep scan; DepthStatic judges
+	// everything statically). Honoured as an alias for one release: when
+	// Depth is unset, a non-nil Triage behaves like triage-gated
+	// DepthStandard, and at DepthStatic/DepthAuto a non-nil Triage
+	// carries its tuning into the tier.
 	Triage *triage.Config
 }
 
@@ -116,6 +133,9 @@ type keyLock struct {
 func NewSystem(opts Options) (*System, error) {
 	if opts.ViewerVersion == 0 {
 		opts.ViewerVersion = 9.0
+	}
+	if _, err := ParseDepth(string(opts.Depth)); err != nil {
+		return nil, fmt.Errorf("pipeline: %w", err)
 	}
 	detID := opts.DetectorID
 	if detID == "" {
@@ -391,6 +411,11 @@ type Verdict struct {
 	// disabled). For "benign"/"malicious" routes Open is nil: no reader
 	// session was created.
 	Triage *triage.Decision
+	// Depth is the resolved scan depth this verdict was produced under
+	// ("static", "standard", "deep" or "auto"; always one of the four —
+	// an unset configuration resolves to "standard"). At "deep"/"auto"
+	// with a dynamic open, Open carries the forced-execution path counts.
+	Depth string
 }
 
 // ProcessDocument runs the complete workflow on one document with no
@@ -427,23 +452,26 @@ func (s *System) ProcessDocumentContext(ctx context.Context, docID string, raw [
 	res, err, _ := s.frontEndTraced(ctx, docID, raw, tr)
 	if err != nil {
 		if errors.Is(err, instrument.ErrNoJavaScript) {
-			return &Verdict{DocID: docID, NoJavaScript: true, Instrument: res}, nil
+			// No scripts means no open at any depth, but the verdict still
+			// records which depth it was produced under.
+			return &Verdict{DocID: docID, NoJavaScript: true, Instrument: res, Depth: string(s.depthProfile("").depth)}, nil
 		}
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	td := s.runTriage(docID, raw, res, tr)
-	if td != nil && td.Route != triage.RouteUncertain {
-		return s.verdictFromTriage(docID, res, td), nil
+	prof := s.depthProfile("")
+	td := s.runTriage(docID, raw, res, tr, prof.triage)
+	if td != nil && (prof.staticOnly || td.Route != triage.RouteUncertain) {
+		return s.verdictFromTriage(docID, res, td, prof), nil
 	}
 	sess, err := s.NewSession()
 	if err != nil {
 		return nil, err
 	}
 	defer sess.Close()
-	v, err = s.openAndJudge(ctx, sess, res, tr)
+	v, err = s.openAndJudge(ctx, sess, res, tr, prof)
 	claimVerdict(v, docID)
 	annotateTriage(v, td)
 	return v, err
@@ -538,9 +566,9 @@ func claimVerdict(v *Verdict, docID string) {
 // checked before the host open and between attachment opens; the runtime
 // state already accumulated stays with the detector (volatile state dies
 // with the session as usual).
-func (s *System) openAndJudge(ctx context.Context, sess *Session, res *instrument.Result, tr *obs.Trace) (*Verdict, error) {
+func (s *System) openAndJudge(ctx context.Context, sess *Session, res *instrument.Result, tr *obs.Trace, prof depthProfile) (*Verdict, error) {
 	docID := res.DocID
-	v := &Verdict{DocID: docID, Instrument: res}
+	v := &Verdict{DocID: docID, Instrument: res, Depth: string(prof.depth)}
 
 	// Opens of the same instrumentation key are serialized: the detector
 	// keeps one DocState per key, and cached duplicates running in
@@ -555,7 +583,7 @@ func (s *System) openAndJudge(ctx context.Context, sess *Session, res *instrumen
 		return nil, err
 	}
 	openStart := time.Now()
-	openRes, err := sess.Open(res, reader.OpenOptions{SpawnHelper: s.opts.SpawnHelper})
+	openRes, err := sess.Open(res, reader.OpenOptions{SpawnHelper: s.opts.SpawnHelper, ForceExec: prof.force})
 	if err != nil {
 		return nil, err
 	}
@@ -565,13 +593,16 @@ func (s *System) openAndJudge(ctx context.Context, sess *Session, res *instrumen
 		if openRes.Crashed || ctx.Err() != nil {
 			break
 		}
-		if _, err := sess.OpenRaw(emb.DocID, emb.Output, reader.OpenOptions{}); err != nil {
+		if _, err := sess.OpenRaw(emb.DocID, emb.Output, reader.OpenOptions{ForceExec: prof.force}); err != nil {
 			break // crashed attachment ends the session
 		}
 	}
 	openDur := time.Since(openStart)
 	tr.AddSpan(obs.PhaseOpen, tr.Offset(openStart), openDur)
 	s.Obs.Observe(obs.PhaseSeries(obs.PhaseOpen), openDur)
+	if prof.force != nil {
+		s.recordDeepScan(docID, res, openRes, openDur)
+	}
 	v.Open = openRes
 	v.Crashed = openRes.Crashed
 

@@ -11,21 +11,23 @@ import (
 	"pdfshield/internal/triage"
 )
 
-// runTriage executes the static triage tier for one submission, records
+// runTriage executes the static triage tier for one submission under
+// the given configuration (from the resolved depth profile), records
 // its telemetry (trace span, latency histogram, route counter, journal
-// event) and returns the decision. nil means triage is disabled and the
-// document takes the dynamic path unconditionally.
+// event) and returns the decision. A nil config means the tier is off
+// for this depth and the document takes the dynamic path
+// unconditionally.
 //
 // Triage runs per submission, never from the front-end cache: the stage
 // is cheap enough that caching it would only buy the cost of a map
 // lookup, and running it fresh keeps the journal's per-document story
 // complete (every submission gets its own TypeTriage event).
-func (s *System) runTriage(docID string, raw []byte, res *instrument.Result, tr *obs.Trace) *triage.Decision {
-	if s.opts.Triage == nil {
+func (s *System) runTriage(docID string, raw []byte, res *instrument.Result, tr *obs.Trace, cfg *triage.Config) *triage.Decision {
+	if cfg == nil {
 		return nil
 	}
 	start := time.Now()
-	d := triage.Evaluate(*s.opts.Triage, raw, res)
+	d := triage.Evaluate(*cfg, raw, res)
 	dur := time.Since(start)
 	tr.AddSpan(obs.PhaseTriage, tr.Offset(start), dur)
 	s.Obs.Observe(obs.MetricTriageSeconds, dur)
@@ -73,12 +75,16 @@ func (s *System) journalTriage(docID string, res *instrument.Result, d *triage.D
 //     alert carries the triage score as its malscore and the signal list
 //     as its cause, so journal and operator tooling render it like any
 //     runtime alert.
-func (s *System) verdictFromTriage(docID string, res *instrument.Result, d *triage.Decision) *Verdict {
+//   - RouteUncertain (DepthStatic only — other depths escalate it): the
+//     document stays unconvicted and the route annotation records that
+//     static evidence was inconclusive.
+func (s *System) verdictFromTriage(docID string, res *instrument.Result, d *triage.Decision, prof depthProfile) *Verdict {
 	v := &Verdict{
 		DocID:       docID,
 		Instrument:  res,
 		TriageRoute: string(d.Route),
 		Triage:      d,
+		Depth:       string(prof.depth),
 	}
 	for i := 0; i < len(d.Census.Static) && i < detect.NumFeatures; i++ {
 		v.FeatureVector[i] = d.Census.Static[i]

@@ -15,8 +15,9 @@ import "context"
 // the batch pool; every shared component underneath (instrumenter,
 // registry, detector, cache) is concurrency-safe across Workers.
 type Worker struct {
-	sys  *System
-	sess *Session
+	sys   *System
+	sess  *Session
+	depth Depth
 }
 
 // NewWorker creates an idle worker lane. The session is dialled lazily on
@@ -35,8 +36,14 @@ func (w *Worker) Process(ctx context.Context, doc BatchDoc) (*Verdict, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return w.sys.processWithSession(ctx, &w.sess, doc)
+	return w.sys.processWithSession(ctx, &w.sess, doc, w.depth)
 }
+
+// SetDepth pins this worker lane to a scan depth override (empty =
+// inherit the system's Options.Depth / legacy resolution). Call before
+// the first Process; a Worker is single-goroutine by contract so no
+// locking applies.
+func (w *Worker) SetDepth(d Depth) { w.depth = d }
 
 // Close releases the worker's reader session, if one was ever dialled.
 func (w *Worker) Close() {

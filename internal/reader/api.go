@@ -51,7 +51,57 @@ func (p *Process) newDocInterp(od *OpenDoc) *js.Interp {
 	g.Declare("spell", js.ObjectValue(p.buildSpell(od)))
 	g.Declare("SOAP", js.ObjectValue(p.buildSOAP(od)))
 	g.Declare("Net", js.ObjectValue(p.buildNet()))
+	g.Declare("Date", buildDate())
 	return it
+}
+
+// The simulated wall clock, frozen at 2013-06-01 00:00:00 UTC (the corpus
+// collection era; util.printd renders the same day). A frozen clock keeps
+// opens deterministic — journal replay depends on it — and models the
+// analysis-time snapshot an instrumented reader takes: time-gated payloads
+// ("run only after 2015") stay dormant naturally and are reached only by
+// the forced-execution deep-scan tier, while timing checks ("did real
+// milliseconds elapse?") always read zero elapsed.
+const (
+	simClockMillis = 1370044800000
+	simClockYear   = 2013
+	simClockMonth  = 5 // zero-based June
+	simClockDate   = 1
+	simClockDay    = 6 // Saturday
+)
+
+// buildDate returns the Date constructor. new Date() and Date() both
+// produce a date object pinned to the simulated clock regardless of
+// arguments (documents in the corpus only ever read the current time).
+func buildDate() js.Value {
+	return hostFn("Date", func(_ *js.Interp, _ js.Value, _ []js.Value) (js.Value, error) {
+		d := js.NewHostObject("Date")
+		millis := func(name string) js.Value {
+			return hostFn(name, func(_ *js.Interp, _ js.Value, _ []js.Value) (js.Value, error) {
+				return js.NumberValue(simClockMillis), nil
+			})
+		}
+		num := func(name string, v float64) js.Value {
+			return hostFn(name, func(_ *js.Interp, _ js.Value, _ []js.Value) (js.Value, error) {
+				return js.NumberValue(v), nil
+			})
+		}
+		d.Set("getTime", millis("getTime"))
+		d.Set("valueOf", millis("valueOf"))
+		d.Set("getFullYear", num("getFullYear", simClockYear))
+		d.Set("getYear", num("getYear", simClockYear-1900))
+		d.Set("getMonth", num("getMonth", simClockMonth))
+		d.Set("getDate", num("getDate", simClockDate))
+		d.Set("getDay", num("getDay", simClockDay))
+		d.Set("getHours", num("getHours", 0))
+		d.Set("getMinutes", num("getMinutes", 0))
+		d.Set("getSeconds", num("getSeconds", 0))
+		d.Set("getMilliseconds", num("getMilliseconds", 0))
+		d.Set("toString", hostFn("toString", func(_ *js.Interp, _ js.Value, _ []js.Value) (js.Value, error) {
+			return js.StringValue("Sat Jun 01 2013 00:00:00 GMT+0000"), nil
+		}))
+		return js.ObjectValue(d), nil
+	})
 }
 
 func hostFn(name string, fn js.HostFn) js.Value {

@@ -90,6 +90,12 @@ type OpenOptions struct {
 	// SpawnHelper emits the benign out-of-JS AdobeARM process creation
 	// that real readers produce occasionally (false-positive pressure).
 	SpawnHelper bool
+	// ForceExec, when non-nil, runs every script under JSForce-style
+	// forced execution with the given bounds (the deep-scan tier): both
+	// arms of each if/ternary are explored, forced-path crashes are
+	// recovered, and runtime features union across paths. Distinct
+	// script sources are explored once per open.
+	ForceExec *js.ForceConfig
 }
 
 // OpenDoc is one open document within the process.
@@ -110,6 +116,15 @@ type OpenDoc struct {
 	exploits []ExploitEvent
 	jsErrs   []string
 	jsRuns   int
+
+	// Deep-scan state: the forced-execution bounds for this open (nil on
+	// standard opens), the set of already-explored script sources, and
+	// per-open path accounting.
+	force         *js.ForceConfig
+	deepSeen      map[string]bool
+	deepPaths     int
+	deepCrashed   int
+	deepExhausted int
 }
 
 type timerEntry struct {
@@ -132,6 +147,16 @@ type OpenResult struct {
 	MemAfterMB float64
 	// JSHeapMB is this document's cumulative script allocation in MB.
 	JSHeapMB float64
+	// DeepPaths counts forced-execution paths explored across all of the
+	// document's scripts (0 on standard opens; ≥1 per script on deep
+	// opens — the natural path counts).
+	DeepPaths int
+	// DeepCrashedPaths counts forced paths abandoned on a recovered
+	// emulated crash.
+	DeepCrashedPaths int
+	// DeepBudgetExhausted counts scripts whose exploration was cut short
+	// by a path, step, or decision budget.
+	DeepBudgetExhausted int
 }
 
 // NewProcess starts a reader process in the fake OS.
@@ -322,6 +347,7 @@ func (p *Process) Open(id string, raw []byte, opts OpenOptions) (*OpenResult, er
 	}
 	p.docs = append(p.docs, od)
 
+	od.force = opts.ForceExec
 	od.interp = p.newDocInterp(od)
 	od.eggData = extractEgg(doc)
 
@@ -334,13 +360,16 @@ func (p *Process) Open(id string, raw []byte, opts OpenOptions) (*OpenResult, er
 	}
 
 	res := &OpenResult{
-		DocID:        id,
-		Crashed:      p.crashed,
-		JSRuns:       od.jsRuns,
-		ScriptErrors: od.jsErrs,
-		Exploits:     od.exploits,
-		MemAfterMB:   p.MemMB(),
-		JSHeapMB:     float64(od.heapBytes) / (1 << 20),
+		DocID:               id,
+		Crashed:             p.crashed,
+		JSRuns:              od.jsRuns,
+		ScriptErrors:        od.jsErrs,
+		Exploits:            od.exploits,
+		MemAfterMB:          p.MemMB(),
+		JSHeapMB:            float64(od.heapBytes) / (1 << 20),
+		DeepPaths:           od.deepPaths,
+		DeepCrashedPaths:    od.deepCrashed,
+		DeepBudgetExhausted: od.deepExhausted,
 	}
 	return res, nil
 }
@@ -424,6 +453,10 @@ func (p *Process) execScript(od *OpenDoc, source string) {
 	if strings.TrimSpace(source) == "" {
 		return
 	}
+	if od.force != nil {
+		p.execScriptForced(od, source)
+		return
+	}
 	od.jsRuns++
 	_, err := od.interp.Run(source)
 	if err != nil {
@@ -433,6 +466,51 @@ func (p *Process) execScript(od *OpenDoc, source string) {
 			return
 		}
 		od.jsErrs = append(od.jsErrs, err.Error())
+	}
+}
+
+// execScriptForced is the deep-scan variant of execScript: the script is
+// re-executed under forced branch decisions so gated payloads run too.
+// Distinct sources are explored once per open (forced paths re-register
+// timers and dynamic scripts on every path, so without dedup the dynamic
+// rounds would multiply). Error and crash semantics follow the natural
+// path only — a crash on a forced path is an emulated process death the
+// explorer recovers from, recorded in the deep counters and observable
+// to the detector through the hooked APIs the path touched before dying.
+func (p *Process) execScriptForced(od *OpenDoc, source string) {
+	if od.deepSeen == nil {
+		od.deepSeen = make(map[string]bool)
+	}
+	if od.deepSeen[source] {
+		return
+	}
+	od.deepSeen[source] = true
+	od.jsRuns++
+	crashedBefore := p.crashed
+	res := od.interp.ExploreForced(*od.force, func() error {
+		_, err := od.interp.Run(source)
+		return err
+	})
+	od.deepPaths += res.Paths
+	od.deepCrashed += res.CrashedPaths
+	if res.Exhausted() {
+		od.deepExhausted++
+	}
+	naturalFatal := false
+	if err := res.NaturalErr; err != nil {
+		if fe, ok := errAsFatal(err); ok {
+			naturalFatal = true
+			od.jsErrs = append(od.jsErrs, "process crash: "+fe.Error())
+		} else {
+			od.jsErrs = append(od.jsErrs, err.Error())
+		}
+	}
+	if naturalFatal {
+		p.crashed = true
+	} else {
+		// vulnCall flags the process crashed before its FatalError unwinds;
+		// when only forced paths died, the natural open survived.
+		p.crashed = crashedBefore
 	}
 }
 

@@ -316,7 +316,7 @@ const (
 func submitOne(client *http.Client, cfg LoadConfig, d pipeline.BatchDoc) (latMs float64, outcome loadOutcome, rejected, retries int) {
 	for attempt := 0; ; attempt++ {
 		t0 := time.Now()
-		req, err := http.NewRequest(http.MethodPost, strings.TrimSuffix(cfg.Target, "/")+"/scan", bytes.NewReader(d.Raw))
+		req, err := http.NewRequest(http.MethodPost, strings.TrimSuffix(cfg.Target, "/")+"/v1/scan", bytes.NewReader(d.Raw))
 		if err != nil {
 			return 0, outcomeFailed, rejected, retries
 		}

@@ -21,6 +21,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"expvar"
 	"fmt"
 	"io"
 	"net"
@@ -138,9 +139,12 @@ type Server struct {
 }
 
 // New builds the daemon: the pipeline System underneath, the scan worker
-// pool, and the HTTP routes (POST /scan, GET /healthz, /metrics,
-// /debug/vars). Call Start to bind a listener, or mount Handler on a
-// listener of your own; Close drains and releases everything.
+// pool, and the versioned HTTP routes (POST /v1/scan, GET /v1/healthz,
+// GET /v1/metrics, /debug/vars). The pre-versioning paths (/scan,
+// /healthz, /metrics) remain as deprecated aliases for one release,
+// answered with a 308 redirect and a Deprecation header. Call Start to
+// bind a listener, or mount Handler on a listener of your own; Close
+// drains and releases everything.
 func New(cfg Config) (*Server, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.NumCPU()
@@ -196,15 +200,37 @@ func New(cfg Config) (*Server, error) {
 	reg.GaugeFunc(obs.MetricServeQueueDepth, func() float64 { return float64(len(s.queue)) })
 
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /scan", s.handleScan)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	reg.RegisterHTTP(s.mux)
+	s.mux.HandleFunc("POST /v1/scan", s.handleScan)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.Handle("GET /v1/metrics", reg.Handler())
+	s.mux.Handle("/debug/vars", expvar.Handler())
+	reg.RegisterRuntimeMetrics()
+	reg.PublishExpvar("pdfshield")
+	// Deprecated: the unversioned ingestion paths are an alias for one
+	// release. 308 preserves the method and body, so an old client's
+	// POST /scan lands on /v1/scan with the document intact.
+	s.mux.HandleFunc("POST /scan", redirectV1("/v1/scan"))
+	s.mux.HandleFunc("GET /healthz", redirectV1("/v1/healthz"))
+	s.mux.HandleFunc("GET /metrics", redirectV1("/v1/metrics"))
 
 	for i := 0; i < cfg.Workers; i++ {
 		s.workerWG.Add(1)
 		go s.scanWorker()
 	}
 	return s, nil
+}
+
+// redirectV1 answers a pre-versioning path with a 308 to its /v1
+// successor. 308 (not 301) because the scan endpoint is a POST: the
+// permanent redirect preserves method and body, so old clients keep
+// working through the alias window. The Deprecation header (plus a
+// successor-version Link) is the machine-readable removal notice.
+func redirectV1(target string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", "<"+target+`>; rel="successor-version"`)
+		http.Redirect(w, r, target, http.StatusPermanentRedirect)
+	}
 }
 
 // Handler returns the daemon's HTTP routes (tests mount it on httptest).
@@ -272,10 +298,16 @@ type ScanResponse struct {
 	Malscore    int    `json:"malscore,omitempty"`
 	AlertReason string `json:"alert_reason,omitempty"`
 	Features    []int  `json:"features,omitempty"`
+	// Depth is the scan depth the verdict was produced at
+	// (static/standard/deep/auto).
+	Depth string `json:"depth,omitempty"`
 	// TriageRoute is the static triage tier's routing decision
 	// (benign/malicious/uncertain; "" when the daemon runs without
 	// triage). Routed documents never opened a reader process.
 	TriageRoute string `json:"triage_route,omitempty"`
+	// DeepScanPaths counts the execution paths the forced-execution deep
+	// lane explored for this document (0 when no deep scan ran).
+	DeepScanPaths int `json:"deepscan_paths,omitempty"`
 	// Cache annotates how the front-end was satisfied (hit/miss/shared;
 	// "" when the daemon runs without a cache).
 	Cache          string     `json:"cache,omitempty"`
@@ -416,7 +448,11 @@ func (s *Server) writeVerdict(w http.ResponseWriter, docID, hash string, res job
 	resp.Malicious = v.Malicious
 	resp.NoJS = v.NoJavaScript
 	resp.Crashed = v.Crashed
+	resp.Depth = v.Depth
 	resp.TriageRoute = v.TriageRoute
+	if v.Open != nil {
+		resp.DeepScanPaths = v.Open.DeepPaths
+	}
 	if v.Alert != nil {
 		resp.Malscore = v.Alert.Malscore
 		resp.AlertReason = v.Alert.Reason
@@ -441,7 +477,7 @@ func (s *Server) writeVerdict(w http.ResponseWriter, docID, hash string, res job
 // can see where the document actually ran.
 func (s *Server) proxyScan(w http.ResponseWriter, r *http.Request, owner string, raw []byte, tenant, docID string) {
 	s.obs.Inc(obs.MetricServeProxied)
-	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, peerURL(owner)+"/scan", bytes.NewReader(raw))
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, peerURL(owner)+"/v1/scan", bytes.NewReader(raw))
 	if err != nil {
 		s.reject(w, http.StatusBadGateway, "proxy", 0, fmt.Sprintf("routing to %s: %v", owner, err))
 		return

@@ -42,7 +42,7 @@ func newTestServer(t *testing.T, cfg Config) *Server {
 
 func postScan(t *testing.T, url string, body []byte, hdr map[string]string) (*http.Response, []byte) {
 	t.Helper()
-	req, err := http.NewRequest(http.MethodPost, url+"/scan", bytes.NewReader(body))
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/scan", bytes.NewReader(body))
 	if err != nil {
 		t.Fatalf("request: %v", err)
 	}
@@ -171,7 +171,7 @@ func TestQueueSaturation(t *testing.T) {
 	results := make(chan int, 2)
 	for i := 0; i < 2; i++ {
 		go func() {
-			resp, err := http.Post(ts.URL+"/scan", "application/pdf", bytes.NewReader(doc))
+			resp, err := http.Post(ts.URL+"/v1/scan", "application/pdf", bytes.NewReader(doc))
 			if err != nil {
 				results <- -1
 				return
@@ -281,7 +281,7 @@ func TestDrainCompletesInFlight(t *testing.T) {
 
 	status := make(chan int, 1)
 	go func() {
-		resp, err := http.Post("http://"+s.Addr()+"/scan", "application/pdf", bytes.NewReader([]byte("%PDF-1.5 drain probe")))
+		resp, err := http.Post("http://"+s.Addr()+"/v1/scan", "application/pdf", bytes.NewReader([]byte("%PDF-1.5 drain probe")))
 		if err != nil {
 			status <- -1
 			return
@@ -330,7 +330,7 @@ func TestDrainingRejects(t *testing.T) {
 	if resp.Header.Get("Retry-After") == "" {
 		t.Error("draining 503 missing Retry-After")
 	}
-	hr, err := http.Get(ts.URL + "/healthz")
+	hr, err := http.Get(ts.URL + "/v1/healthz")
 	if err != nil {
 		t.Fatalf("healthz: %v", err)
 	}
@@ -346,7 +346,7 @@ func TestHealthz(t *testing.T) {
 	s := newTestServer(t, Config{Workers: 2, QueueDepth: 7})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
-	resp, err := http.Get(ts.URL + "/healthz")
+	resp, err := http.Get(ts.URL + "/v1/healthz")
 	if err != nil {
 		t.Fatalf("healthz: %v", err)
 	}
@@ -533,5 +533,96 @@ func TestProxyRouting(t *testing.T) {
 	}
 	if got := regA.Snapshot().Counters[obs.MetricServeProxied]; got != 1 {
 		t.Errorf("router proxied counter moved to %d on a routed submission", got)
+	}
+}
+
+// TestDeprecatedUnversionedAlias pins the one-release compatibility
+// window: the pre-versioning paths answer 308 with a Deprecation header
+// and a /v1 Location, and a client that follows the redirect (Go's
+// default for 308, re-sending the body) still gets its verdict.
+func TestDeprecatedUnversionedAlias(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	noFollow := &http.Client{
+		CheckRedirect: func(*http.Request, []*http.Request) error { return http.ErrUseLastResponse },
+	}
+	doc := corpus.NewGenerator(7).BenignText(4 << 10).Raw
+	for _, tc := range []struct{ method, path, want string }{
+		{http.MethodPost, "/scan", "/v1/scan"},
+		{http.MethodGet, "/healthz", "/v1/healthz"},
+		{http.MethodGet, "/metrics", "/v1/metrics"},
+	} {
+		req, err := http.NewRequest(tc.method, ts.URL+tc.path, bytes.NewReader(doc))
+		if err != nil {
+			t.Fatalf("%s %s: %v", tc.method, tc.path, err)
+		}
+		resp, err := noFollow.Do(req)
+		if err != nil {
+			t.Fatalf("%s %s: %v", tc.method, tc.path, err)
+		}
+		_ = resp.Body.Close()
+		if resp.StatusCode != http.StatusPermanentRedirect {
+			t.Errorf("%s %s: status %d, want 308", tc.method, tc.path, resp.StatusCode)
+		}
+		if loc := resp.Header.Get("Location"); loc != tc.want {
+			t.Errorf("%s %s: Location %q, want %q", tc.method, tc.path, loc, tc.want)
+		}
+		if resp.Header.Get("Deprecation") == "" {
+			t.Errorf("%s %s: missing Deprecation header", tc.method, tc.path)
+		}
+	}
+
+	// A default client follows the 308 (re-POSTing the body) end to end.
+	resp, err := http.Post(ts.URL+"/scan", "application/pdf", bytes.NewReader(doc))
+	if err != nil {
+		t.Fatalf("POST /scan via alias: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("alias follow-through: status %d, body %s", resp.StatusCode, body)
+	}
+	var sr ScanResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatalf("verdict JSON: %v", err)
+	}
+	if sr.Malicious {
+		t.Errorf("benign text doc convicted via alias: %+v", sr)
+	}
+}
+
+// TestScanResponseDepth pins the depth-aware response surface: a daemon
+// running at deep depth reports depth=deep and the explored path count
+// for an evasive document, and convicts it.
+func TestScanResponseDepth(t *testing.T) {
+	cfg := Config{Workers: 1}
+	cfg.Pipeline.Depth = pipeline.DepthDeep
+	cfg.Pipeline.Seed = 4242
+	s := newTestServer(t, cfg)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	sample, ok := corpus.NewGenerator(99).Evasive("mal-timebomb")
+	if !ok {
+		t.Fatal("evasive family missing")
+	}
+	resp, body := postScan(t, ts.URL, sample.Raw, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("deep scan: status %d, body %s", resp.StatusCode, body)
+	}
+	var sr ScanResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatalf("verdict JSON: %v", err)
+	}
+	if sr.Depth != string(pipeline.DepthDeep) {
+		t.Errorf("depth %q, want %q", sr.Depth, pipeline.DepthDeep)
+	}
+	if !sr.Malicious {
+		t.Errorf("time bomb not convicted at deep depth: %+v", sr)
+	}
+	if sr.DeepScanPaths < 2 {
+		t.Errorf("deepscan_paths = %d, want >= 2", sr.DeepScanPaths)
 	}
 }

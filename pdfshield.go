@@ -9,13 +9,17 @@
 //
 //	sys, _ := pdfshield.New(pdfshield.Options{})
 //	defer sys.Close()
-//	verdict, _ := sys.ProcessDocument("invoice.pdf", raw)
+//	verdict, _ := sys.ProcessDocumentContext(ctx, "invoice.pdf", raw)
 //	if verdict.Malicious { ... }
 //
-// ProcessDocument instruments the document (Phase I), opens it in a
-// simulated, hooked reader process wired to the live runtime detector
+// ProcessDocumentContext instruments the document (Phase I), opens it in
+// a simulated, hooked reader process wired to the live runtime detector
 // (Phase II), and reports the verdict with the full 13-feature malscore
-// breakdown.
+// breakdown. Options.Depth (or BatchOptions.Depth per batch) selects the
+// scan tier: DepthStatic routes on triage alone, DepthStandard performs
+// the dynamic open, DepthDeep adds forced execution of dormant branches,
+// and DepthAuto escalates only triage-uncertain documents to the deep
+// lane.
 //
 // Lower-level entry points: Analyze extracts the five static features
 // without modifying a document; Instrument performs Phase I only; Session
@@ -34,11 +38,45 @@ import (
 	"pdfshield/internal/detect"
 	"pdfshield/internal/instrument"
 	"pdfshield/internal/journal"
+	"pdfshield/internal/js"
 	"pdfshield/internal/obs"
 	"pdfshield/internal/pipeline"
 	"pdfshield/internal/reader"
 	"pdfshield/internal/triage"
 )
+
+// Depth selects how hard a submission is scanned — the single
+// depth-axis knob of the API (see the Depth* constants). It replaces
+// the accreted per-tier toggles: the deprecated Options.Triage field
+// and the commands' -triage flags remain as aliases for one release.
+type Depth = pipeline.Depth
+
+const (
+	// DepthStatic judges every document on static triage evidence alone;
+	// no reader process is ever created.
+	DepthStatic = pipeline.DepthStatic
+	// DepthStandard is the classic single-execution dynamic scan (the
+	// default when Depth is unset and Triage is nil).
+	DepthStandard = pipeline.DepthStandard
+	// DepthDeep force-executes every document: conditional branches are
+	// explored on both arms and runtime features are unioned across all
+	// explored paths, defeating time bombs, environment fingerprinting
+	// and sandbox-detection gates.
+	DepthDeep = pipeline.DepthDeep
+	// DepthAuto routes by triage: confident documents are judged
+	// statically, uncertain ones escalate to a forced-execution deep
+	// scan. The recommended production setting.
+	DepthAuto = pipeline.DepthAuto
+)
+
+// ParseDepth validates a depth name from a flag or request field ("" is
+// accepted and means "unset": the system default resolution applies).
+func ParseDepth(s string) (Depth, error) { return pipeline.ParseDepth(s) }
+
+// DeepScanConfig bounds the forced-execution explorer used at DepthDeep
+// and DepthAuto; see Options.DeepScan. Zero fields take the built-in
+// defaults (16 paths, 64 decisions, 2M steps per path).
+type DeepScanConfig = js.ForceConfig
 
 // Options configures a System.
 type Options struct {
@@ -78,6 +116,15 @@ type Options struct {
 	// OpenJournal; a recorded journal replays offline through
 	// `pdfshield-detect -replay`.
 	Journal *Journal
+	// Depth is the system-wide scan depth (DepthStatic, DepthStandard,
+	// DepthDeep or DepthAuto). Empty means unset: the legacy resolution
+	// applies, where a non-nil Triage selects triage-gated standard
+	// scanning and everything else runs DepthStandard.
+	// BatchOptions.Depth overrides this per batch.
+	Depth Depth
+	// DeepScan bounds the forced-execution explorer used at DepthDeep
+	// and DepthAuto (zero fields = defaults). Ignored at other depths.
+	DeepScan DeepScanConfig
 	// Triage enables the static fast-path tier between the front-end and
 	// the reader session (nil = off). Confident-benign documents skip the
 	// sandbox, confident-malicious documents are convicted without being
@@ -86,6 +133,12 @@ type Options struct {
 	// encryption, unknown API or analysis-budget blowup routes the
 	// document to the dynamic tier. The zero TriageConfig is the
 	// production default.
+	//
+	// Deprecated: set Depth instead — DepthAuto gives triage routing with
+	// deep-scan escalation, DepthStatic gives triage-only verdicts.
+	// Honoured as an alias for one release: with Depth unset, a non-nil
+	// Triage behaves like triage-gated DepthStandard; at
+	// DepthStatic/DepthAuto it carries its tuning into the tier.
 	Triage *TriageConfig
 }
 
@@ -211,6 +264,8 @@ func New(opts Options) (*System, error) {
 		Cache:              cacheCfg,
 		Obs:                opts.Metrics,
 		Journal:            opts.Journal,
+		Depth:              opts.Depth,
+		DeepScan:           opts.DeepScan,
 		Triage:             opts.Triage,
 	})
 	if err != nil {
@@ -253,10 +308,20 @@ type Verdict struct {
 	// verdict formed.
 	Trace *Trace
 	// TriageRoute is the static triage tier's decision for this document
-	// ("benign", "malicious", "uncertain"; empty when Options.Triage is
-	// nil or the document short-circuited before the tier ran). Routed
-	// documents ("benign"/"malicious") never opened a reader process.
+	// ("benign", "malicious", "uncertain"; empty when the resolved depth
+	// runs no triage or the document short-circuited before the tier
+	// ran). Routed documents ("benign"/"malicious") never opened a
+	// reader process.
 	TriageRoute string
+	// Depth is the resolved scan depth this verdict was produced under
+	// ("static", "standard", "deep" or "auto"; empty only when the
+	// document short-circuited before depth resolution, e.g.
+	// NoJavaScript).
+	Depth string
+	// DeepScanPaths counts the execution paths explored by forced
+	// execution (0 unless the resolved depth deep-scanned this document;
+	// a natural single run counts as 1 path per script).
+	DeepScanPaths int
 }
 
 // Trace is one document's phase-span record; it marshals to JSON with
@@ -296,6 +361,10 @@ func toVerdict(v *pipeline.Verdict) *Verdict {
 		Deinstrumented: v.Deinstrumented,
 		Trace:          v.Trace,
 		TriageRoute:    v.TriageRoute,
+		Depth:          v.Depth,
+	}
+	if v.Open != nil {
+		out.DeepScanPaths = v.Open.DeepPaths
 	}
 	if v.Instrument != nil {
 		out.Static = v.Instrument.Features
@@ -321,6 +390,9 @@ type BatchOptions struct {
 	// long-lived recycled reader process wired to the shared detector.
 	// Zero or negative means runtime.NumCPU().
 	Workers int
+	// Depth overrides the system-wide Options.Depth for this batch
+	// (empty = inherit). An unknown value fails every slot in the batch.
+	Depth Depth
 }
 
 // BatchResult collects a batch run's outcome. Verdicts and Errors are
@@ -346,7 +418,7 @@ func (s *System) ProcessBatch(docs []BatchDoc, opts BatchOptions) *BatchResult {
 // ProcessBatchContext runs the full pipeline over many documents with a
 // worker pool. Per-document failures land in BatchResult.Errors instead
 // of aborting the batch, results come back in input order, and verdicts
-// match what serial ProcessDocument calls would produce for the same
+// match what serial ProcessDocumentContext calls would produce for the same
 // Seed. Once ctx ends, no further document is dispatched: documents
 // already processed keep their verdicts, and every remaining slot's
 // error satisfies errors.Is(err, ctx.Err()).
@@ -355,7 +427,7 @@ func (s *System) ProcessBatchContext(ctx context.Context, docs []BatchDoc, opts 
 	for i, d := range docs {
 		in[i] = pipeline.BatchDoc{ID: d.ID, Raw: d.Raw}
 	}
-	res := s.inner.ProcessBatchContext(ctx, in, pipeline.BatchOptions{Workers: opts.Workers})
+	res := s.inner.ProcessBatchContext(ctx, in, pipeline.BatchOptions{Workers: opts.Workers, Depth: opts.Depth})
 	out := &BatchResult{Verdicts: make([]*Verdict, len(docs)), Errors: make([]error, len(docs))}
 	if res.CacheStats != nil {
 		stats := toCacheStats(*res.CacheStats)
