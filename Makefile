@@ -1,19 +1,31 @@
 GO ?= go
 
+# Build identity stamped into pdfshield_build_info (internal/obs.Version).
+# Defaults to `git describe` so release builds and dirty trees are
+# distinguishable on a /v1/metrics scrape; override with VERSION=... .
+VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
+LDFLAGS := -ldflags "-X pdfshield/internal/obs.Version=$(VERSION)"
+
 # Per-target budget for `make fuzz`. The committed seeds under
 # internal/*/testdata/fuzz/ replay on every plain `make test` regardless.
 FUZZTIME ?= 30s
 
-.PHONY: build vet test race bench bench-json bench-compare fuzz journal-check serve-smoke lint-deprecated
+.PHONY: build vet test race bench bench-json bench-compare fuzz journal-check serve-smoke lint-deprecated lint-metrics
 
 build:
-	$(GO) build ./...
+	$(GO) build $(LDFLAGS) ./...
 
 vet:
 	$(GO) vet ./...
 
-test: vet lint-deprecated journal-check serve-smoke
+test: vet lint-deprecated lint-metrics journal-check serve-smoke
 	$(GO) test ./...
+
+# Metric vocabulary drift gate: every Metric* constant in internal/obs
+# must be registered at runtime, and every registered pdfshield_* family
+# must have a constant. Keeps dashboards and the code from diverging.
+lint-metrics:
+	$(GO) test -run TestMetricNameDrift -count=1 .
 
 # Fails on any non-test usage of the deprecated scan surface:
 # ProcessDocument/ProcessBatch (use the Context variants) and

@@ -83,6 +83,7 @@ func run() error {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus text metrics on this address (/metrics, plus expvar on /debug/vars); empty = off")
+	pprofOn := flag.Bool("pprof", false, "also mount net/http/pprof at /debug/pprof on -metrics-addr (opt-in)")
 	compare := flag.Bool("compare", false, "compare two BENCH_*.json records (positional args: OLD NEW); non-zero exit on >10% open-p50 regression")
 	logOpts := cli.RegisterLogFlags(flag.CommandLine)
 	flag.Parse()
@@ -110,7 +111,7 @@ func run() error {
 		// Both modes report into the process-wide default registry (systems
 		// built without an explicit Obs option land there), so one endpoint
 		// covers the experiment suite and the -json benchmark alike.
-		srv, err := obs.Default.ServeMetrics(*metricsAddr)
+		srv, err := obs.Default.ServeMetricsDiag(*metricsAddr, nil, *pprofOn)
 		if err != nil {
 			return fmt.Errorf("metrics server: %w", err)
 		}

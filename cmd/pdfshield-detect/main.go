@@ -134,6 +134,10 @@ func run() error {
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	// SIGQUIT prints a diagnostic dump (build identity + goroutines) to
+	// stderr and keeps the detector running.
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
 	var deadline <-chan time.Time
 	if *duration > 0 {
 		deadline = time.After(*duration)
@@ -149,6 +153,9 @@ func run() error {
 			for ; seen < len(alerts); seen++ {
 				printAlert(alerts[seen])
 			}
+		case <-quit:
+			var diag *obs.Diagnostics
+			diag.WriteDump(os.Stderr)
 		case <-stop:
 			logger.Info("shutting down", "alerts", len(det.Alerts()))
 			return nil

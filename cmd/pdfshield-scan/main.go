@@ -69,6 +69,7 @@ func run() error {
 	cacheBytes := flag.Int64("cache-bytes", 0, "cache byte cap (0 = default, negative = unlimited)")
 	cacheTTL := flag.Duration("cache-ttl", 0, "cache entry time-to-live (0 = never expires)")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus text metrics on this address (/metrics, plus expvar on /debug/vars); empty = off")
+	pprofOn := flag.Bool("pprof", false, "also mount net/http/pprof at /debug/pprof on -metrics-addr (opt-in)")
 	depthFlag := flag.String("depth", "", "scan depth: static|standard|deep|auto (same vocabulary as the pipeline commands; static and auto include the triage report)")
 	useTriage := flag.Bool("triage", false, "deprecated: use -depth static|auto; report the static triage route per input")
 	logOpts := cli.RegisterLogFlags(flag.CommandLine)
@@ -116,7 +117,7 @@ func run() error {
 		registry = instrument.NewRegistry(id)
 	}
 	if *metricsAddr != "" {
-		srv, err := obs.Default.ServeMetrics(*metricsAddr)
+		srv, err := obs.Default.ServeMetricsDiag(*metricsAddr, nil, *pprofOn)
 		if err != nil {
 			return fmt.Errorf("metrics server: %w", err)
 		}

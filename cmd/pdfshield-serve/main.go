@@ -31,6 +31,16 @@
 //	                [-cache] [-cache-entries N] [-cache-bytes N] [-cache-ttl d]
 //	                [-depth static|standard|deep|auto] [-triage]
 //	                [-seed N] [-journal events.jsonl] [-log-level info]
+//	                [-pprof]
+//
+// The daemon also serves the live debug surface (/v1/debug/traces,
+// /v1/debug/slow, /v1/debug/slo, /v1/debug/stalls), and with -pprof the
+// net/http/pprof handlers at /debug/pprof. SIGQUIT prints a diagnostic
+// dump (SLO burn rates, slowest retained traces, stall reports, a full
+// goroutine dump) to stderr without interrupting service. One-shot
+// remote diagnosis of a running node:
+//
+//	pdfshield-serve -doctor host:port
 //
 // Load generator (capacity measurement against a running daemon):
 //
@@ -85,6 +95,8 @@ func run() error {
 	cacheBytes := flag.Int64("cache-bytes", 0, "cache byte cap (0 = default, negative = unlimited)")
 	cacheTTL := flag.Duration("cache-ttl", 0, "cache entry time-to-live (0 = never expires)")
 	seed := flag.Int64("seed", 0, "instrumentation randomization seed (0 = time-based)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof at /debug/pprof (opt-in: profiles expose goroutine stacks and heap contents)")
+	doctor := flag.String("doctor", "", "one-shot: fetch and pretty-print a running daemon's diagnostics (health, SLO burn rates, slow traces, stalls) from this address, then exit")
 	depthFlag := flag.String("depth", "", "scan depth: static|standard|deep|auto (empty = standard; auto adds forced-execution deep scans for triage-uncertain documents)")
 	useTriage := flag.Bool("triage", false, "deprecated: use -depth static|auto; static triage tier routing confident documents around the sandbox")
 
@@ -104,6 +116,10 @@ func run() error {
 	logger, err := logOpts.SetupLogger("pdfshield-serve")
 	if err != nil {
 		return err
+	}
+
+	if *doctor != "" {
+		return serve.RunDoctor(*doctor, os.Stdout)
 	}
 
 	if *load {
@@ -147,6 +163,7 @@ func run() error {
 		TenantRate:   *tenantRate,
 		TenantBurst:  *tenantBurst,
 		Self:         *self,
+		Pprof:        *pprofOn,
 	}
 	if *peers != "" {
 		for _, p := range strings.Split(*peers, ",") {
@@ -183,10 +200,20 @@ func run() error {
 	logger.Info("listening", "addr", srv.Addr(), "workers", cfg.Workers, "queue", cfg.QueueDepth, "peers", len(cfg.Peers))
 
 	// Drain on SIGINT/SIGTERM: stop accepting, finish in-flight documents
-	// under the drain deadline, flush the journal, then exit.
+	// under the drain deadline, flush the journal, then exit. SIGQUIT
+	// prints a diagnostic dump (SLO status, slowest traces, stall reports,
+	// goroutines) to stderr and keeps serving — the kill -QUIT an operator
+	// sends a wedged-looking node before deciding whether to restart it.
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	got := <-sig
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM, syscall.SIGQUIT)
+	var got os.Signal
+	for got = range sig {
+		if got == syscall.SIGQUIT {
+			srv.System().Diagnostics().WriteDump(os.Stderr)
+			continue
+		}
+		break
+	}
 	signal.Stop(sig)
 	logger.Info("draining", "signal", got.String(), "deadline", drainTimeout.String())
 

@@ -256,7 +256,15 @@ type Options struct {
 	// syscall per event but makes the journal durable line-by-line (the
 	// stand-alone detector CLI records this way).
 	FlushEach bool
+	// RecentEvents sizes the in-memory ring of the latest events kept for
+	// live diagnostics (the stall watchdog attaches a wedged document's
+	// recent journal context to its report via Recent). 0 means
+	// DefaultRecentEvents; negative disables the ring.
+	RecentEvents int
 }
+
+// DefaultRecentEvents is the default Recent ring size.
+const DefaultRecentEvents = 512
 
 // Writer appends events to a JSONL sink. All methods are safe for
 // concurrent use and nil-safe, so optional journaling wires through the
@@ -272,6 +280,12 @@ type Writer struct {
 	err     error
 	opts    Options
 	closed  bool
+
+	// recent is the fixed-size diagnostics ring (see Options.RecentEvents
+	// and Recent); recNext is its insertion index.
+	recent  []Event
+	recNext int
+	recFull bool
 }
 
 // NewWriter starts a journal on w and writes the session-start header.
@@ -279,7 +293,17 @@ func NewWriter(w io.Writer, opts Options) *Writer {
 	if opts.Session == "" {
 		opts.Session = "pdfshield"
 	}
+	if opts.RecentEvents == 0 {
+		opts.RecentEvents = DefaultRecentEvents
+	}
 	jw := &Writer{buf: bufio.NewWriterSize(w, 64<<10), sink: w, opts: opts}
+	if opts.RecentEvents > 0 {
+		jw.recent = make([]Event, opts.RecentEvents)
+	}
+	// Preregister the health counters so a scrape (and the metric-drift
+	// lint) sees the series before the first append resolves them.
+	opts.Obs.CounterAdd(obs.MetricJournalEvents, 0)
+	opts.Obs.CounterAdd(obs.MetricJournalErrors, 0)
 	jw.Append(Event{T: TypeSessionStart, Session: opts.Session})
 	return jw
 }
@@ -305,6 +329,17 @@ func (w *Writer) Append(e Event) {
 	e.Seq = w.seq
 	if e.TimeNS == 0 {
 		e.TimeNS = time.Now().UnixNano()
+	}
+	if len(w.recent) > 0 {
+		// The diagnostics ring keeps the event even when the sink write
+		// below fails — fail-open means the in-memory context survives a
+		// broken disk.
+		w.recent[w.recNext] = e
+		w.recNext++
+		if w.recNext == len(w.recent) {
+			w.recNext = 0
+			w.recFull = true
+		}
 	}
 	err := w.writeLocked(e)
 	if err != nil {
@@ -403,6 +438,38 @@ func (w *Writer) Session() string {
 		return ""
 	}
 	return w.opts.Session
+}
+
+// Recent returns the latest retained events for one document (docID ""
+// matches every event), newest-first, up to max (<= 0 = no bound). It
+// reads the in-memory diagnostics ring, never the sink, so it is cheap
+// enough for a watchdog to call while the system is wedged. Nil-safe.
+func (w *Writer) Recent(docID string, max int) []Event {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := w.recNext
+	if w.recFull {
+		n = len(w.recent)
+	}
+	var out []Event
+	for i := 0; i < n; i++ {
+		idx := w.recNext - 1 - i
+		if idx < 0 {
+			idx += len(w.recent)
+		}
+		e := w.recent[idx]
+		if docID != "" && e.DocID != docID {
+			continue
+		}
+		out = append(out, e)
+		if max > 0 && len(out) == max {
+			break
+		}
+	}
+	return out
 }
 
 // Err returns the first write error encountered ("" contract of fail-open:

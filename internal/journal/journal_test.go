@@ -219,3 +219,71 @@ func TestFileSync(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRecentRing covers the in-memory diagnostics ring behind
+// Writer.Recent: newest-first ordering, per-document filtering, the max
+// bound, overwrite-oldest wraparound, and retention even when the sink
+// fails (the ring is the stall watchdog's context source, and a wedged
+// disk is exactly when it is needed).
+func TestRecentRing(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, Options{Session: "ring", RecentEvents: 4})
+	// NewWriter appends the session-start event; it occupies one slot.
+	w.Append(Event{T: TypeDocOpen, DocID: "a"})
+	w.Append(Event{T: TypeDocOpen, DocID: "b"})
+	w.Append(Event{T: TypeCtx, DocID: "a", Ctx: &Ctx{Event: "enter"}})
+
+	all := w.Recent("", 0)
+	if len(all) != 4 {
+		t.Fatalf("Recent(all) = %d events, want 4 (ring at capacity)", len(all))
+	}
+	if all[0].T != TypeCtx || all[0].DocID != "a" {
+		t.Errorf("Recent not newest-first: first = %+v", all[0])
+	}
+
+	forA := w.Recent("a", 0)
+	if len(forA) != 2 {
+		t.Fatalf("Recent(a) = %d events, want 2", len(forA))
+	}
+	if forA[0].T != TypeCtx || forA[1].T != TypeDocOpen {
+		t.Errorf("Recent(a) ordering wrong: %+v", forA)
+	}
+	if got := w.Recent("a", 1); len(got) != 1 || got[0].T != TypeCtx {
+		t.Errorf("Recent(a, 1) = %+v, want just the newest", got)
+	}
+
+	// Wraparound: two more events must evict the two oldest (the
+	// session-start marker and doc-open a).
+	w.Append(Event{T: TypeDocOpen, DocID: "c"})
+	w.Append(Event{T: TypeDocOpen, DocID: "d"})
+	if got := w.Recent("", 0); len(got) != 4 || got[0].DocID != "d" {
+		t.Fatalf("ring after wraparound: %+v", got)
+	}
+	for _, e := range w.Recent("", 0) {
+		if e.T == TypeSessionStart {
+			t.Errorf("oldest event survived wraparound: %+v", e)
+		}
+	}
+	if got := w.Recent("a", 0); len(got) != 1 || got[0].T != TypeCtx {
+		t.Errorf("doc a should retain only its ctx event: %+v", got)
+	}
+
+	// Sink failure keeps the ring: fail-open means in-memory context
+	// survives a dead disk.
+	fw := NewWriter(&failWriter{}, Options{Session: "dead", FlushEach: true, RecentEvents: 8})
+	fw.Append(Event{T: TypeDocOpen, DocID: "x"})
+	if got := fw.Recent("x", 0); len(got) != 1 {
+		t.Errorf("ring lost events on sink failure: %d", len(got))
+	}
+
+	// Disabled ring and nil writer.
+	off := NewWriter(&bytes.Buffer{}, Options{RecentEvents: -1})
+	off.Append(Event{T: TypeDocOpen, DocID: "x"})
+	if got := off.Recent("", 0); len(got) != 0 {
+		t.Errorf("RecentEvents<0 still retained %d events", len(got))
+	}
+	var nw *Writer
+	if nw.Recent("", 0) != nil {
+		t.Error("nil writer returned events")
+	}
+}

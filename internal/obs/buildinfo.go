@@ -1,0 +1,23 @@
+package obs
+
+import "runtime"
+
+// Version is the build's version string, stamped by the Makefile via
+//
+//	-ldflags "-X pdfshield/internal/obs.Version=<git describe>"
+//
+// and left at "dev" for plain `go build`.
+var Version = "dev"
+
+// RegisterBuildInfo exports the conventional build-identity gauge:
+// pdfshield_build_info{version,go_version} with constant value 1, so a
+// scrape (or a colleague reading one) can tell which binary produced it.
+func RegisterBuildInfo(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc(Labels(MetricBuildInfo,
+		"go_version", runtime.Version(),
+		"version", Version,
+	), func() float64 { return 1 })
+}

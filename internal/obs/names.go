@@ -78,9 +78,10 @@ const (
 	// Forced-execution deep-scan series (internal/pipeline over
 	// internal/js ExploreForced). Paths counts every explored path
 	// (natural ones included); the histogram observes the whole deep open
-	// (reader open with forced execution active); the budget counter
-	// counts scripts whose exploration a path/step/decision budget cut
-	// short.
+	// (reader open with forced execution active) and uses the widened
+	// DeepScanBuckets bounds — deep opens routinely exceed the default
+	// 10s top bucket; the budget counter counts scripts whose exploration
+	// a path/step/decision budget cut short.
 	MetricDeepScanPaths   = "pdfshield_deepscan_paths_total"
 	MetricDeepScanSeconds = "pdfshield_deepscan_seconds"
 	MetricDeepScanBudget  = "pdfshield_deepscan_budget_exhausted_total"
@@ -94,6 +95,29 @@ const (
 	MetricJSUnitsEvictions = "pdfshield_js_units_evictions_total"
 	MetricJSUnitsEntries   = "pdfshield_js_units_entries"
 	MetricJSUnitsBytes     = "pdfshield_js_units_bytes"
+
+	// Diagnostics subsystem series (flight recorder, SLO tracking, stall
+	// watchdog — see flight.go/slo.go/watchdog.go and DESIGN.md §16).
+	//
+	// SLO series carry an "slo" label naming the objective; the burn-rate
+	// gauge is the rolling-window error rate divided by the objective's
+	// error budget (1.0 = burning the budget exactly as fast as allowed).
+	MetricSLOBurnRate = "pdfshield_slo_burn_rate"
+	MetricSLOBreaches = "pdfshield_slo_breaches_total"
+	MetricSLOObserved = "pdfshield_slo_observed_total"
+	// MetricFlightRetained counts traces the flight recorder tail-sampled
+	// into guaranteed retention, labelled by reason (errored / crashed /
+	// quarantined / deep-scan / slow).
+	MetricFlightRetained = "pdfshield_flight_retained_total"
+	// MetricWatchdogStalls counts documents the stall watchdog flagged as
+	// stuck past their phase deadline (each capture includes a goroutine
+	// dump; see Watchdog.Reports).
+	MetricWatchdogStalls = "pdfshield_watchdog_stalls_total"
+
+	// MetricBuildInfo is the conventional build-identity gauge: constant
+	// value 1 with version/go_version labels, so a scrape identifies the
+	// binary it is talking to (stamped via -ldflags in the Makefile).
+	MetricBuildInfo = "pdfshield_build_info"
 )
 
 // Pipeline phase names, in execution order (also the span names of a
@@ -121,27 +145,50 @@ var LatencyBuckets = []float64{
 	1, 2.5, 5, 10,
 }
 
+// DeepScanBuckets extend LatencyBuckets past the 10s ceiling for the
+// deep-scan open histogram: forced execution costs ~78× a standard open,
+// so observations above 10s are routine there, and with the default
+// bounds they all collapsed into the implicit +Inf bucket — silently
+// truncating any p90 estimate at 10s. The explicit overflow buckets keep
+// the tail quantiles finite up to five minutes.
+var DeepScanBuckets = append(append([]float64{}, LatencyBuckets...),
+	30, 60, 120, 300)
+
 // Series composes a single-label series name, escaping the label value
 // per the Prometheus text format.
 func Series(name, label, value string) string {
+	return Labels(name, label, value)
+}
+
+// Labels composes a series name with any number of label pairs
+// (label1, value1, label2, value2, ...), escaping each value per the
+// Prometheus text format. A trailing odd argument is ignored.
+func Labels(name string, kv ...string) string {
 	var b strings.Builder
-	b.Grow(len(name) + len(label) + len(value) + 5)
+	b.Grow(len(name) + 8*len(kv))
 	b.WriteString(name)
 	b.WriteByte('{')
-	b.WriteString(label)
-	b.WriteString(`="`)
-	for i := 0; i < len(value); i++ {
-		switch c := value[i]; c {
-		case '\\', '"':
-			b.WriteByte('\\')
-			b.WriteByte(c)
-		case '\n':
-			b.WriteString(`\n`)
-		default:
-			b.WriteByte(c)
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
 		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		value := kv[i+1]
+		for j := 0; j < len(value); j++ {
+			switch c := value[j]; c {
+			case '\\', '"':
+				b.WriteByte('\\')
+				b.WriteByte(c)
+			case '\n':
+				b.WriteString(`\n`)
+			default:
+				b.WriteByte(c)
+			}
+		}
+		b.WriteByte('"')
 	}
-	b.WriteString(`"}`)
+	b.WriteString(`}`)
 	return b.String()
 }
 
@@ -170,7 +217,16 @@ func SplitSeries(series string) (base, labels string) {
 func LabelValue(series, label string) string {
 	_, lbl := SplitSeries(series)
 	prefix := label + `="`
+	// Match only at a label boundary (start or after a comma), so asking
+	// for "version" cannot land inside a "go_version" pair.
 	i := strings.Index(lbl, prefix)
+	for i > 0 && lbl[i-1] != ',' {
+		j := strings.Index(lbl[i+1:], prefix)
+		if j < 0 {
+			return ""
+		}
+		i += 1 + j
+	}
 	if i < 0 {
 		return ""
 	}

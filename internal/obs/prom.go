@@ -98,6 +98,7 @@ var (
 // pair next to their application routes.
 func (r *Registry) RegisterHTTP(mux *http.ServeMux) {
 	r.RegisterRuntimeMetrics()
+	RegisterBuildInfo(r)
 	r.PublishExpvar("pdfshield")
 	mux.Handle("/metrics", r.Handler())
 	mux.Handle("/debug/vars", expvar.Handler())
@@ -215,12 +216,21 @@ func (m *MetricsServer) Close() error {
 // scrape answers "is the scanner healthy" without pprof. The server runs
 // until Close. This is what the CLIs' -metrics-addr flag mounts.
 func (r *Registry) ServeMetrics(addr string) (*MetricsServer, error) {
+	return r.serveMetrics(addr, nil)
+}
+
+// serveMetrics builds and starts the metrics endpoint, letting the
+// caller mount extra handlers on the mux (see ServeMetricsDiag).
+func (r *Registry) serveMetrics(addr string, extra func(mux *http.ServeMux)) (*MetricsServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: metrics listener: %w", err)
 	}
 	mux := http.NewServeMux()
 	r.RegisterHTTP(mux)
+	if extra != nil {
+		extra(mux)
+	}
 	srv := NewHTTPServer(mux, ServerTimeouts{})
 	m := &MetricsServer{Addr: ln.Addr().String(), srv: srv, done: make(chan struct{})}
 	go func() {

@@ -5,7 +5,8 @@ import "runtime"
 // Go runtime health series (callback-backed; see RegisterRuntimeMetrics).
 // These answer "is the scanner process healthy" from a plain /metrics
 // scrape — goroutine leaks, heap growth and GC pressure — without
-// attaching pprof.
+// attaching pprof (which is opt-in: see RegisterPprof and the -pprof
+// flag on the CLIs).
 const (
 	MetricGoGoroutines = "pdfshield_go_goroutines"
 	MetricGoHeapBytes  = "pdfshield_go_heap_alloc_bytes"

@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SLOObjective declares one latency objective: Target of documents
+// matching (Depth, Route) must complete within Latency. Empty Depth or
+// Route matches any value; objectives are evaluated in order and the
+// first match wins, so specific objectives precede catch-alls.
+type SLOObjective struct {
+	// Name identifies the objective in metrics (the "slo" label) and
+	// debug output.
+	Name string `json:"name"`
+	// Depth matches the submission's resolved scan depth ("" = any).
+	Depth string `json:"depth,omitempty"`
+	// Route matches the static triage route ("" = any).
+	Route string `json:"route,omitempty"`
+	// Latency is the objective's latency bound.
+	Latency time.Duration `json:"latency_ns"`
+	// Target is the fraction of observations that must meet the bound,
+	// in (0,1) — e.g. 0.99. The error budget is 1 - Target.
+	Target float64 `json:"target"`
+}
+
+// DefaultSLOs returns the stock objectives: per-depth latency bounds
+// scaled to each tier's cost (deep scans run ~78× a standard open, so
+// their bound is minutes where the static tier's is milliseconds), plus
+// a catch-all for submissions that errored before a depth resolved.
+func DefaultSLOs() []SLOObjective {
+	return []SLOObjective{
+		{Name: "static-fast", Depth: "static", Latency: 250 * time.Millisecond, Target: 0.99},
+		{Name: "standard-open", Depth: "standard", Latency: 2 * time.Second, Target: 0.99},
+		{Name: "deep-scan", Depth: "deep", Latency: 2 * time.Minute, Target: 0.95},
+		{Name: "all-docs", Latency: 5 * time.Second, Target: 0.999},
+	}
+}
+
+// Defaults applied by NewSLOTracker when the corresponding field of
+// SLOConfig is zero.
+const (
+	DefaultSLOWindow = 10 * time.Minute
+	defaultSLOSlots  = 10
+)
+
+// SLOConfig tunes an SLOTracker.
+type SLOConfig struct {
+	// Objectives are evaluated first-match-wins per observation
+	// (nil = DefaultSLOs).
+	Objectives []SLOObjective
+	// Window is the rolling window over which burn rates are computed
+	// (0 = DefaultSLOWindow). The window is tracked in defaultSLOSlots
+	// rotating slots, so expiry granularity is Window/slots.
+	Window time.Duration
+}
+
+// sloSlot is one time-bucket of an objective's rolling window.
+type sloSlot struct {
+	epoch    int64 // slot validity marker: unix-nano slot index
+	observed uint64
+	breached uint64
+}
+
+// sloState is one objective's live accounting.
+type sloState struct {
+	obj SLOObjective
+	// lifetime totals (monotonic counters).
+	observed uint64
+	breached uint64
+	// rolling window.
+	slots [defaultSLOSlots]sloSlot
+}
+
+// SLOTracker scores per-document latency observations against a set of
+// declarative objectives and tracks each objective's error-budget burn
+// rate over a rolling window. A burn rate of 1.0 means the objective is
+// consuming its error budget exactly as fast as allowed; sustained
+// values above ~1 forecast the budget exhausting before the window
+// turns over. All methods are nil-safe and safe for concurrent use.
+type SLOTracker struct {
+	mu     sync.Mutex
+	states []*sloState
+	window time.Duration
+	slotNs int64
+
+	// nowFn is injectable for tests.
+	nowFn func() time.Time
+}
+
+// NewSLOTracker builds a tracker.
+func NewSLOTracker(cfg SLOConfig) *SLOTracker {
+	if cfg.Objectives == nil {
+		cfg.Objectives = DefaultSLOs()
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = DefaultSLOWindow
+	}
+	t := &SLOTracker{
+		window: cfg.Window,
+		slotNs: cfg.Window.Nanoseconds() / defaultSLOSlots,
+		nowFn:  time.Now,
+	}
+	if t.slotNs <= 0 {
+		t.slotNs = 1
+	}
+	for _, obj := range cfg.Objectives {
+		if obj.Target <= 0 || obj.Target >= 1 || obj.Latency <= 0 || obj.Name == "" {
+			continue
+		}
+		t.states = append(t.states, &sloState{obj: obj})
+	}
+	return t
+}
+
+// match reports whether an objective covers a (depth, route) pair.
+func (o SLOObjective) match(depth, route string) bool {
+	return (o.Depth == "" || o.Depth == depth) && (o.Route == "" || o.Route == route)
+}
+
+// Observe scores one completed submission against the first matching
+// objective. failed marks submissions that ended in error — they breach
+// their objective regardless of latency (an SLO is about successful
+// responses in time, and a fast error is not success).
+func (t *SLOTracker) Observe(depth, route string, total time.Duration, failed bool) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	epoch := t.nowFn().UnixNano() / t.slotNs
+	for _, st := range t.states {
+		if !st.obj.match(depth, route) {
+			continue
+		}
+		breach := failed || total > st.obj.Latency
+		st.observed++
+		if breach {
+			st.breached++
+		}
+		slot := &st.slots[epoch%defaultSLOSlots]
+		if slot.epoch != epoch {
+			slot.epoch = epoch
+			slot.observed = 0
+			slot.breached = 0
+		}
+		slot.observed++
+		if breach {
+			slot.breached++
+		}
+		return
+	}
+}
+
+// SLOStatus is one objective's live state.
+type SLOStatus struct {
+	Objective SLOObjective `json:"objective"`
+	// Observed and Breached are lifetime totals.
+	Observed uint64 `json:"observed"`
+	Breached uint64 `json:"breached"`
+	// WindowObserved and WindowBreached cover the rolling window.
+	WindowObserved uint64 `json:"window_observed"`
+	WindowBreached uint64 `json:"window_breached"`
+	// BurnRate is the window breach rate divided by the error budget
+	// (1 - target): 0 = no budget spent, 1 = burning exactly at the
+	// allowed rate, >1 = on course to exhaust the budget.
+	BurnRate float64 `json:"burn_rate"`
+}
+
+// Status snapshots every objective.
+func (t *SLOTracker) Status() []SLOStatus {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	epoch := t.nowFn().UnixNano() / t.slotNs
+	out := make([]SLOStatus, 0, len(t.states))
+	for _, st := range t.states {
+		s := SLOStatus{Objective: st.obj, Observed: st.observed, Breached: st.breached}
+		for i := range st.slots {
+			slot := st.slots[i]
+			// A slot is live when its epoch falls inside the window.
+			if slot.epoch > epoch-defaultSLOSlots && slot.epoch <= epoch {
+				s.WindowObserved += slot.observed
+				s.WindowBreached += slot.breached
+			}
+		}
+		if s.WindowObserved > 0 {
+			breachRate := float64(s.WindowBreached) / float64(s.WindowObserved)
+			s.BurnRate = breachRate / (1 - st.obj.Target)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Register exports the tracker into a registry: one burn-rate gauge and
+// lifetime observed/breached counters per objective, all labelled by
+// objective name. Callback-backed, so scrapes always see live values.
+func (t *SLOTracker) Register(reg *Registry) {
+	if t == nil || reg == nil {
+		return
+	}
+	for _, st := range t.states {
+		st := st
+		name := st.obj.Name
+		reg.GaugeFunc(Series(MetricSLOBurnRate, "slo", name), func() float64 {
+			for _, s := range t.Status() {
+				if s.Objective.Name == name {
+					return s.BurnRate
+				}
+			}
+			return 0
+		})
+		reg.CounterFunc(Series(MetricSLOObserved, "slo", name), func() float64 {
+			t.mu.Lock()
+			defer t.mu.Unlock()
+			return float64(st.observed)
+		})
+		reg.CounterFunc(Series(MetricSLOBreaches, "slo", name), func() float64 {
+			t.mu.Lock()
+			defer t.mu.Unlock()
+			return float64(st.breached)
+		})
+	}
+}

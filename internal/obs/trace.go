@@ -8,6 +8,12 @@ const (
 	OutcomeBenign       = "benign"
 	OutcomeCrashed      = "crashed"
 	OutcomeNoJavaScript = "no-javascript"
+	// OutcomeErrored marks a submission that ended in a terminal error
+	// (hostile parse failure, contained analysis panic); the error text is
+	// in Trace.Error. Errored traces carry no verdict, but the flight
+	// recorder retains them — they are exactly the documents an operator
+	// wants to pull afterwards.
+	OutcomeErrored = "errored"
 )
 
 // Trace cache annotations (Trace.Cache). Empty means the system ran
@@ -44,8 +50,24 @@ type Trace struct {
 	Cache string `json:"cache,omitempty"`
 	// Outcome is the verdict classification (Outcome* constants).
 	Outcome string `json:"outcome,omitempty"`
+	// Depth is the resolved scan depth the submission ran at
+	// (static/standard/deep/auto; "" on traces that errored before the
+	// depth resolved).
+	Depth string `json:"depth,omitempty"`
+	// Route is the static triage tier's routing decision ("" when triage
+	// did not run).
+	Route string `json:"route,omitempty"`
+	// Error is the terminal error text for errored submissions.
+	Error string `json:"error,omitempty"`
+	// DeepPaths counts the forced-execution paths explored for this
+	// document (0 when no deep scan ran).
+	DeepPaths int `json:"deepscan_paths,omitempty"`
 	// Spans is the phase timeline in execution order.
 	Spans []Span `json:"spans,omitempty"`
+
+	// watch is the stall watchdog's in-flight handle (nil when no
+	// watchdog observes this submission); MarkPhase forwards to it.
+	watch *InflightDoc
 }
 
 // StartTrace begins a trace for one document submission.
@@ -72,6 +94,16 @@ func (t *Trace) StartSpan(phase string) (end func()) {
 		})
 	}
 }
+
+// Watch attaches a stall watchdog's in-flight handle: subsequent
+// MarkPhase calls update the watchdog's view of where the document is.
+func (t *Trace) Watch(d *InflightDoc) { t.watch = d }
+
+// MarkPhase tells the attached watchdog (if any) which phase the
+// document is entering. Pipeline code calls it at phase boundaries; the
+// trace itself only records spans once they complete, so this is the
+// watchdog's only view of a phase still in flight.
+func (t *Trace) MarkPhase(phase string) { t.watch.Phase(phase) }
 
 // Offset converts an absolute time to this trace's offset base.
 func (t *Trace) Offset(at time.Time) time.Duration { return at.Sub(t.StartTime) }

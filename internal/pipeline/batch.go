@@ -214,6 +214,9 @@ dispatch:
 func (s *System) processWithSession(ctx context.Context, sess **Session, doc BatchDoc, depth Depth) (v *Verdict, err error) {
 	start := time.Now()
 	tr := obs.StartTrace(doc.ID)
+	wd := s.watchdog().Begin(doc.ID)
+	tr.Watch(wd)
+	defer wd.Done()
 	s.journalDocOpen(doc.ID, len(doc.Raw))
 	defer func() { s.finishDoc(tr, v, err, time.Since(start)) }()
 	defer func() {

@@ -13,6 +13,13 @@ import (
 // survives. Set it only from tests, and only while no batch is running.
 var analysisHook func(docID string)
 
+// openHook, when non-nil, runs just before every reader open with the
+// document's ID. Test seam for the stall watchdog: a test blocks one
+// document here to prove a wedged open is flagged with a goroutine dump
+// while concurrent documents keep getting verdicts. Same contract as
+// analysisHook: set only from tests, only while nothing is running.
+var openHook func(docID string)
+
 // containPanic converts an in-flight panic into a fail-closed per-document
 // error and counts it in the obs registry. It must be called directly from
 // a defer. A document that crashes the analyzer is never reported benign by

@@ -119,7 +119,11 @@ func (s *System) recordDeepScan(docID string, res *instrument.Result, open *read
 		return
 	}
 	s.Obs.CounterAdd(obs.MetricDeepScanPaths, uint64(open.DeepPaths))
-	s.Obs.Observe(obs.MetricDeepScanSeconds, dur)
+	// Deep opens use the widened DeepScanBuckets bounds (a forced open
+	// routinely exceeds the default 10s ceiling) and remember the slowest
+	// doc per bucket as an exemplar.
+	s.Obs.Histogram(obs.MetricDeepScanSeconds, obs.DeepScanBuckets).
+		ObserveExemplar(dur.Seconds(), docID)
 	if open.DeepBudgetExhausted > 0 {
 		s.Obs.CounterAdd(obs.MetricDeepScanBudget, uint64(open.DeepBudgetExhausted))
 	}

@@ -78,6 +78,13 @@ type Options struct {
 	// DepthAuto (zero fields = js.DefaultForce* defaults). Ignored at
 	// other depths.
 	DeepScan js.ForceConfig
+	// Diag tunes the diagnostics subsystem — flight recorder, SLO
+	// tracking, stall watchdog (see obs.DiagConfig; DESIGN.md §16). The
+	// zero value enables everything with defaults; set Diag.Disable to
+	// run without diagnostics. When a Journal is configured, the stall
+	// watchdog's reports automatically include the wedged document's
+	// recent journal events.
+	Diag obs.DiagConfig
 	// Triage enables the static fast-path tier between the front-end and
 	// the reader session (nil = off, every document opens dynamically).
 	// Confident-benign documents skip the sandbox, confident-malicious
@@ -108,6 +115,7 @@ type System struct {
 	opts    Options
 	cache   *cache.Cache
 	jsUnits *js.UnitCache
+	diag    *obs.Diagnostics
 
 	// keyLocks serializes reader opens per instrumentation key. Without a
 	// cache the registry's duplicate rule makes each key's open unique;
@@ -192,7 +200,28 @@ func NewSystem(opts Options) (*System, error) {
 		sys.cache.RegisterMetrics(obsReg)
 	}
 	registerJSUnitMetrics(obsReg, jsUnits)
+	diagCfg := opts.Diag
+	if diagCfg.Watchdog.Context == nil && opts.Journal != nil {
+		jw := opts.Journal
+		diagCfg.Watchdog.Context = func(docID string) any { return jw.Recent(docID, 64) }
+	}
+	sys.diag = obs.NewDiagnostics(obsReg, diagCfg)
+	preregisterMetrics(obsReg)
 	return sys, nil
+}
+
+// Diagnostics exposes the System's flight recorder, SLO tracker and
+// stall watchdog (nil when Options.Diag.Disable is set — all their
+// methods are nil-safe). Servers mount its debug endpoints; operators
+// read it through Stats and the SIGQUIT dump.
+func (s *System) Diagnostics() *obs.Diagnostics { return s.diag }
+
+// watchdog returns the stall watchdog (nil when diagnostics are off).
+func (s *System) watchdog() *obs.Watchdog {
+	if s.diag == nil {
+		return nil
+	}
+	return s.diag.Watchdog
 }
 
 // registerJSUnitMetrics exposes the compiled-unit cache through the obs
@@ -254,6 +283,7 @@ func (s *System) frontEnd(ctx context.Context, docID string, raw []byte) (*instr
 // timeline; on a cache hit / shared flight a single collapsed "frontend"
 // span records the wait.
 func (s *System) frontEndTraced(ctx context.Context, docID string, raw []byte, tr *obs.Trace) (*instrument.Result, error, string) {
+	tr.MarkPhase(obs.PhaseFrontEnd)
 	start := time.Now()
 	res, err, note := s.frontEnd(ctx, docID, raw)
 	tr.Cache = note
@@ -315,8 +345,11 @@ func (s *System) markRetire(kl *keyLock) {
 	s.klMu.Unlock()
 }
 
-// Close stops the detector servers.
-func (s *System) Close() error { return s.Detector.Close() }
+// Close stops the detector servers and the diagnostics watchdog.
+func (s *System) Close() error {
+	s.diag.Close()
+	return s.Detector.Close()
+}
 
 // Session is one reader process wired to the detector.
 type Session struct {
@@ -440,6 +473,9 @@ func (s *System) ProcessDocumentContext(ctx context.Context, docID string, raw [
 	}
 	start := time.Now()
 	tr := obs.StartTrace(docID)
+	wd := s.watchdog().Begin(docID)
+	tr.Watch(wd)
+	defer wd.Done()
 	s.journalDocOpen(docID, len(raw))
 	defer func() { s.finishDoc(tr, v, err, time.Since(start)) }()
 	defer containPanic(s.Obs, &v, &err)
@@ -478,34 +514,50 @@ func (s *System) ProcessDocumentContext(ctx context.Context, docID string, raw [
 }
 
 // finishDoc closes out one document's processing: outcome counters, the
-// end-to-end latency histogram, the trace's outcome annotation, and the
-// journal's verdict record. The trace is attached to the verdict here so
-// every verdict — including no-javascript short-circuits — carries its
-// timeline.
+// end-to-end latency histogram (with the doc ID as its exemplar), the
+// trace's outcome/depth/route annotations, the diagnostics recording
+// (flight recorder, SLO scoring), and the journal's verdict record. The
+// trace is attached to the verdict here so every verdict — including
+// no-javascript short-circuits — carries its timeline.
 func (s *System) finishDoc(tr *obs.Trace, v *Verdict, err error, total time.Duration) {
 	s.Obs.Inc(obs.MetricDocsTotal)
-	s.Obs.Observe(obs.MetricDocSeconds, total)
-	defer func() { s.journalVerdict(tr.DocID, v, err) }()
+	s.Obs.ObserveDoc(obs.MetricDocSeconds, total, tr.DocID)
 	if err != nil || v == nil {
 		s.Obs.Inc(obs.MetricDocsErrored)
-		return
+		tr.Outcome = obs.OutcomeErrored
+		if err != nil {
+			tr.Error = err.Error()
+		}
+	} else {
+		switch {
+		case v.Malicious:
+			tr.Outcome = obs.OutcomeMalicious
+			s.Obs.Inc(obs.MetricDocsMalicious)
+		case v.NoJavaScript:
+			tr.Outcome = obs.OutcomeNoJavaScript
+			s.Obs.Inc(obs.MetricDocsNoJS)
+		case v.Crashed:
+			tr.Outcome = obs.OutcomeCrashed
+		default:
+			tr.Outcome = obs.OutcomeBenign
+		}
+		if v.Crashed {
+			s.Obs.Inc(obs.MetricDocsCrashed)
+		}
+		tr.Depth = v.Depth
+		tr.Route = v.TriageRoute
+		if v.Open != nil {
+			tr.DeepPaths = v.Open.DeepPaths
+		}
+		v.Trace = tr
 	}
-	switch {
-	case v.Malicious:
-		tr.Outcome = obs.OutcomeMalicious
-		s.Obs.Inc(obs.MetricDocsMalicious)
-	case v.NoJavaScript:
-		tr.Outcome = obs.OutcomeNoJavaScript
-		s.Obs.Inc(obs.MetricDocsNoJS)
-	case v.Crashed:
-		tr.Outcome = obs.OutcomeCrashed
-	default:
-		tr.Outcome = obs.OutcomeBenign
+	if s.diag != nil {
+		// The trace is complete now (no span is added after finishDoc), so
+		// the flight recorder may retain and share it.
+		s.diag.SLO.Observe(tr.Depth, tr.Route, total, err != nil || v == nil)
+		s.diag.Flight.Record(tr, total)
 	}
-	if v.Crashed {
-		s.Obs.Inc(obs.MetricDocsCrashed)
-	}
-	v.Trace = tr
+	s.journalVerdict(tr.DocID, v, err)
 }
 
 // journalDocOpen records a document entering the pipeline. Pipeline
@@ -582,6 +634,10 @@ func (s *System) openAndJudge(ctx context.Context, sess *Session, res *instrumen
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	tr.MarkPhase(obs.PhaseOpen)
+	if openHook != nil {
+		openHook(docID)
+	}
 	openStart := time.Now()
 	openRes, err := sess.Open(res, reader.OpenOptions{SpawnHelper: s.opts.SpawnHelper, ForceExec: prof.force})
 	if err != nil {
@@ -599,18 +655,19 @@ func (s *System) openAndJudge(ctx context.Context, sess *Session, res *instrumen
 	}
 	openDur := time.Since(openStart)
 	tr.AddSpan(obs.PhaseOpen, tr.Offset(openStart), openDur)
-	s.Obs.Observe(obs.PhaseSeries(obs.PhaseOpen), openDur)
+	s.Obs.ObserveDoc(obs.PhaseSeries(obs.PhaseOpen), openDur, docID)
 	if prof.force != nil {
 		s.recordDeepScan(docID, res, openRes, openDur)
 	}
 	v.Open = openRes
 	v.Crashed = openRes.Crashed
 
+	tr.MarkPhase(obs.PhaseDetect)
 	detectStart := time.Now()
 	defer func() {
 		detectDur := time.Since(detectStart)
 		tr.AddSpan(obs.PhaseDetect, tr.Offset(detectStart), detectDur)
-		s.Obs.Observe(obs.PhaseSeries(obs.PhaseDetect), detectDur)
+		s.Obs.ObserveDoc(obs.PhaseSeries(obs.PhaseDetect), detectDur, docID)
 	}()
 
 	// An alert on the host or on any of its attachments convicts the

@@ -33,6 +33,12 @@ type Stats struct {
 	Triage TriageStats `json:"triage"`
 	// Quarantined is how many artifacts runtime confinement has isolated.
 	Quarantined int `json:"quarantined"`
+	// SLO is the per-objective burn-rate status, Flight the flight
+	// recorder occupancy, and Watchdog the stall watchdog state (all
+	// empty/nil when Options.Diag.Disable turned diagnostics off).
+	SLO      []obs.SLOStatus    `json:"slo,omitempty"`
+	Flight   *obs.FlightStats   `json:"flight,omitempty"`
+	Watchdog *obs.WatchdogStats `json:"watchdog,omitempty"`
 	// BatchQueueDepth and BatchWorkers reflect in-flight ProcessBatch
 	// calls; SessionsActive counts open reader sessions.
 	BatchQueueDepth int64 `json:"batch_queue_depth"`
@@ -157,5 +163,12 @@ func (s *System) Stats() Stats {
 		st.Cache = &cs
 	}
 	st.JSUnits = s.jsUnits.Stats()
+	if s.diag != nil {
+		st.SLO = s.diag.SLO.Status()
+		fs := s.diag.Flight.Stats()
+		st.Flight = &fs
+		ws := s.diag.Watchdog.Stats()
+		st.Watchdog = &ws
+	}
 	return st
 }

@@ -26,6 +26,7 @@ func (s *System) runTriage(docID string, raw []byte, res *instrument.Result, tr 
 	if cfg == nil {
 		return nil
 	}
+	tr.MarkPhase(obs.PhaseTriage)
 	start := time.Now()
 	d := triage.Evaluate(*cfg, raw, res)
 	dur := time.Since(start)

@@ -93,6 +93,10 @@ type Config struct {
 	// copy of all of it. Empty = single-node, everything owned locally.
 	Peers []string
 	Self  string
+	// Pprof mounts the net/http/pprof profiling handlers at /debug/pprof.
+	// Off by default: the profiles expose goroutine stacks and heap
+	// contents, so they are opt-in (-pprof on the daemon CLI).
+	Pprof bool
 	// Timeouts harden the HTTP listener (zero fields =
 	// obs.DefaultServerTimeouts).
 	Timeouts obs.ServerTimeouts
@@ -199,12 +203,21 @@ func New(cfg Config) (*Server, error) {
 
 	reg.GaugeFunc(obs.MetricServeQueueDepth, func() float64 { return float64(len(s.queue)) })
 
+	s.preregisterMetrics()
+
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/scan", s.handleScan)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.Handle("GET /v1/metrics", reg.Handler())
 	s.mux.Handle("/debug/vars", expvar.Handler())
+	// Live debug surface: retained traces, slowest documents, SLO burn
+	// rates, stall reports (see obs.Diagnostics.RegisterDebug).
+	sys.Diagnostics().RegisterDebug(s.mux, "/v1/debug")
+	if cfg.Pprof {
+		obs.RegisterPprof(s.mux)
+	}
 	reg.RegisterRuntimeMetrics()
+	obs.RegisterBuildInfo(reg)
 	reg.PublishExpvar("pdfshield")
 	// Deprecated: the unversioned ingestion paths are an alias for one
 	// release. 308 preserves the method and body, so an old client's
@@ -218,6 +231,20 @@ func New(cfg Config) (*Server, error) {
 		go s.scanWorker()
 	}
 	return s, nil
+}
+
+// preregisterMetrics creates every serve-layer series at zero when the
+// daemon is built, so scrapes and the metric-drift lint see the full
+// vocabulary before the first request (the rejection reasons form a
+// closed set; see reject call sites).
+func (s *Server) preregisterMetrics() {
+	s.obs.CounterAdd(obs.MetricServeAccepted, 0)
+	s.obs.CounterAdd(obs.MetricServeProxied, 0)
+	for _, reason := range []string{"queue", "ratelimit", "draining", "toolarge", "body", "empty", "proxy"} {
+		s.obs.CounterAdd(obs.Series(obs.MetricServeRejected, "reason", reason), 0)
+	}
+	s.obs.GaugeAdd(obs.MetricServeInFlight, 0)
+	s.obs.Histogram(obs.MetricServeSeconds, obs.LatencyBuckets)
 }
 
 // redirectV1 answers a pre-versioning path with a 308 to its /v1

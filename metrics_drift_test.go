@@ -1,0 +1,132 @@
+package pdfshield_test
+
+import (
+	"bytes"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"strings"
+	"testing"
+
+	"pdfshield/internal/cache"
+	"pdfshield/internal/journal"
+	"pdfshield/internal/obs"
+	"pdfshield/internal/pipeline"
+	"pdfshield/internal/serve"
+)
+
+// obsMetricConstants extracts every Metric*-named string constant from
+// internal/obs by parsing the source, so the drift check cannot itself
+// drift when constants are added.
+func obsMetricConstants(t *testing.T) map[string]string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, "internal/obs", func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatalf("parse internal/obs: %v", err)
+	}
+	out := make(map[string]string) // constant name -> series name
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.CONST {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, name := range vs.Names {
+						if !strings.HasPrefix(name.Name, "Metric") || i >= len(vs.Values) {
+							continue
+						}
+						lit, ok := vs.Values[i].(*ast.BasicLit)
+						if !ok || lit.Kind != token.STRING {
+							continue
+						}
+						out[name.Name] = strings.Trim(lit.Value, `"`)
+					}
+				}
+			}
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("no Metric* constants found in internal/obs — parser broken?")
+	}
+	return out
+}
+
+// TestMetricNameDrift is the `make lint-metrics` gate: the metric
+// vocabulary in internal/obs and the series actually registered at
+// runtime must match in both directions. A constant nobody registers is
+// a dashboard query that silently went dark after a rename; a registered
+// pdfshield_* family without a constant is a metric dashboards cannot
+// reference by the shared vocabulary.
+func TestMetricNameDrift(t *testing.T) {
+	constants := obsMetricConstants(t)
+
+	// Build the full runtime universe on one isolated registry: the serve
+	// daemon over a pipeline with cache, auto depth (triage + deep scan)
+	// and a journal, plus the Go runtime series a /metrics scrape carries.
+	// Every subsystem preregisters its series at construction, so the
+	// snapshot below is the complete emission surface.
+	reg := obs.NewRegistry()
+	var jbuf bytes.Buffer
+	jw := journal.NewWriter(&jbuf, journal.Options{Session: "drift", Obs: reg})
+	srv, err := serve.New(serve.Config{
+		Workers: 1,
+		Pipeline: pipeline.Options{
+			Seed:    1,
+			Obs:     reg,
+			Journal: jw,
+			Depth:   pipeline.DepthAuto,
+			Cache:   &cache.Config{},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+	reg.RegisterRuntimeMetrics()
+
+	snap := reg.Snapshot()
+	registered := make(map[string]bool)
+	for name := range snap.Counters {
+		base, _ := obs.SplitSeries(name)
+		registered[base] = true
+	}
+	for name := range snap.Gauges {
+		base, _ := obs.SplitSeries(name)
+		registered[base] = true
+	}
+	for name := range snap.Histograms {
+		base, _ := obs.SplitSeries(name)
+		registered[base] = true
+	}
+
+	// Direction 1: every named constant is registered at runtime.
+	for constName, series := range constants {
+		if !registered[series] {
+			t.Errorf("obs.%s = %q is never registered at runtime — renamed away or dead vocabulary", constName, series)
+		}
+	}
+
+	// Direction 2: every registered pdfshield family has a constant.
+	byValue := make(map[string]bool, len(constants))
+	for _, series := range constants {
+		byValue[series] = true
+	}
+	for family := range registered {
+		if !strings.HasPrefix(family, "pdfshield_") {
+			continue // test-local or third-party series
+		}
+		if !byValue[family] {
+			t.Errorf("runtime registers %q with no Metric* constant in internal/obs — add it to the shared vocabulary", family)
+		}
+	}
+}

@@ -140,7 +140,24 @@ type Options struct {
 	// Triage behaves like triage-gated DepthStandard; at
 	// DepthStatic/DepthAuto it carries its tuning into the tier.
 	Triage *TriageConfig
+	// Diag tunes the diagnostics layer — flight recorder ring sizes, SLO
+	// objectives, stall-watchdog deadlines — or disables it entirely
+	// (Diag.Disable). The zero value enables everything with bounded
+	// defaults; see Stats.SLO/Flight/Watchdog and System.Diagnostics.
+	Diag DiagConfig
 }
+
+// DiagConfig tunes the diagnostics subsystem (flight recorder, SLO
+// tracking, stall watchdog); see Options.Diag.
+type DiagConfig = obs.DiagConfig
+
+// Diagnostics is the live diagnostics handle: retained traces, SLO burn
+// rates, stall reports, and the WriteDump operator report.
+type Diagnostics = obs.Diagnostics
+
+// Diagnostics exposes the System's diagnostics layer (nil when
+// Options.Diag.Disable was set).
+func (s *System) Diagnostics() *Diagnostics { return s.inner.Diagnostics() }
 
 // TriageConfig tunes the static triage tier; see Options.Triage.
 type TriageConfig = triage.Config
@@ -267,6 +284,7 @@ func New(opts Options) (*System, error) {
 		Depth:              opts.Depth,
 		DeepScan:           opts.DeepScan,
 		Triage:             opts.Triage,
+		Diag:               opts.Diag,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("pdfshield: %w", err)
@@ -556,6 +574,15 @@ type DetectStats = pipeline.DetectStats
 // TriageStats counts static triage routing decisions.
 type TriageStats = pipeline.TriageStats
 
+// SLOStatus reports one latency objective's rolling error-budget burn.
+type SLOStatus = obs.SLOStatus
+
+// FlightStats summarizes the flight recorder's retention rings.
+type FlightStats = obs.FlightStats
+
+// WatchdogStats summarizes the stall watchdog.
+type WatchdogStats = obs.WatchdogStats
+
 // Stats is a consolidated point-in-time snapshot of the System: document
 // outcomes, per-phase latency (keys "parse", "analyze", "instrument",
 // "open", "detect", plus "total" for end-to-end), detector activity,
@@ -579,6 +606,11 @@ type Stats struct {
 	BatchQueueDepth int64 `json:"batch_queue_depth"`
 	BatchWorkers    int64 `json:"batch_workers"`
 	SessionsActive  int64 `json:"sessions_active"`
+	// SLO, Flight and Watchdog mirror the diagnostics subsystem (empty/nil
+	// when the System runs with diagnostics disabled).
+	SLO      []SLOStatus    `json:"slo,omitempty"`
+	Flight   *FlightStats   `json:"flight,omitempty"`
+	Watchdog *WatchdogStats `json:"watchdog,omitempty"`
 }
 
 // Stats snapshots the System's observability registry. When several
@@ -596,6 +628,9 @@ func (s *System) Stats() Stats {
 		BatchQueueDepth: in.BatchQueueDepth,
 		BatchWorkers:    in.BatchWorkers,
 		SessionsActive:  in.SessionsActive,
+		SLO:             in.SLO,
+		Flight:          in.Flight,
+		Watchdog:        in.Watchdog,
 	}
 	if in.Cache != nil {
 		cs := toCacheStats(*in.Cache)
